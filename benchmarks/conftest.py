@@ -1,0 +1,47 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The heavyweight artifact is the 12-workload x 4-system sweep used by
+Figures 8, 9 and 10; it is computed once per session and cached.
+
+All benchmarks run scaled-down versions of the paper's runs (60-90 s
+simulated traces, ~90% provisioned utilization) so the whole suite
+finishes in minutes on one core; EXPERIMENTS.md records paper-vs-measured
+for every figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SYSTEM_FACTORIES, run_experiment, standard_config
+from repro.experiments.runner import ExperimentResult
+
+BENCH_DURATION = 60.0
+BENCH_SEED = 0
+BENCH_UTIL = 0.9
+
+
+def run_workload(app: str, trace: str, system: str, **overrides) -> ExperimentResult:
+    """One (app, trace, system) run with the benchmark defaults."""
+    overrides.setdefault("duration", BENCH_DURATION)
+    overrides.setdefault("utilization", BENCH_UTIL)
+    config = standard_config(app, trace, seed=BENCH_SEED, **overrides)
+    return run_experiment(config, SYSTEM_FACTORIES[system](BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def workload_sweep():
+    """Lazy cache over the 12-workload x 4-system sweep."""
+    cache: dict[tuple[str, str, str], ExperimentResult] = {}
+
+    def get(app: str, trace: str, system: str) -> ExperimentResult:
+        key = (app, trace, system)
+        if key not in cache:
+            cache[key] = run_workload(app, trace, system)
+        return cache[key]
+
+    return get
+
+
+def fmt_pct(x: float) -> str:
+    return f"{x * 100:6.2f}%"

@@ -1,0 +1,68 @@
+"""Figure 6: probability density of aggregated batch wait per module.
+
+Verifies the central-limit concentration the State Planner exploits and
+regenerates the paper's worked example: with lambda = 0.1 and equal
+durations, w_k / sum(d) = 0.31, 0.28, 0.22, 0.10 for 4, 3, 2, 1 cascaded
+modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch_wait import BatchWaitEstimator, irwin_hall_quantile
+
+PAPER_FRACTIONS = {4: 0.31, 3: 0.28, 2: 0.22, 1: 0.10}
+
+
+def test_fig6_quantiles_match_paper(benchmark):
+    d = 0.05  # equal per-module duration
+
+    def compute():
+        est = BatchWaitEstimator(lam=0.1, samples=100_000, seed=0)
+        return {n: est.estimate([d] * n) for n in (1, 2, 3, 4)}
+
+    w = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\nFigure 6: w_k at lambda=0.1 (4-module pipeline, equal d)")
+    print(f"{'modules':>8s} {'w_k':>10s} {'w_k/sum d':>10s} {'paper':>7s}")
+    for n in (4, 3, 2, 1):
+        frac = w[n] / (n * d)
+        print(f"{n:8d} {w[n] * 1000:8.1f}ms {frac:10.2f} {PAPER_FRACTIONS[n]:7.2f}")
+        np.testing.assert_allclose(frac, PAPER_FRACTIONS[n], atol=0.015)
+
+
+def test_fig6_distribution_concentrates(benchmark):
+    """More cascaded modules -> aggregated wait concentrates near half its
+    support (CLT), i.e. the coefficient of variation shrinks."""
+    rng = np.random.default_rng(1)
+
+    def sample_cv(n: int) -> float:
+        total = sum(rng.uniform(0, 1.0, 50_000) for _ in range(n))
+        return float(total.std() / total.mean())
+
+    cvs = benchmark.pedantic(
+        lambda: {n: sample_cv(n) for n in (1, 2, 3, 4, 6, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 6 (shape): CV of aggregated batch wait vs cascade depth")
+    for n, cv in cvs.items():
+        print(f"  {n} modules: CV={cv:.3f}")
+    depths = sorted(cvs)
+    for a, b in zip(depths, depths[1:]):
+        assert cvs[b] < cvs[a]
+
+
+def test_fig6_closed_form_agrees_with_sampler(benchmark):
+    est = BatchWaitEstimator(lam=0.1, samples=200_000, seed=2)
+    durations = [0.08, 0.05, 0.06]
+
+    sampled = benchmark.pedantic(
+        lambda: est.estimate(durations), rounds=1, iterations=1
+    )
+    # Equal-duration Irwin-Hall bounds bracket the unequal-duration value.
+    lo = min(durations) * irwin_hall_quantile(0.1, 3)
+    hi = max(durations) * irwin_hall_quantile(0.1, 3)
+    print(f"\nsampled w={sampled * 1000:.1f}ms, Irwin-Hall bracket "
+          f"[{lo * 1000:.1f}, {hi * 1000:.1f}]ms")
+    assert lo <= sampled <= hi

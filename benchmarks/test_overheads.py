@@ -1,0 +1,124 @@
+"""§5.4 overhead analysis: DEPQ operations, state sync, wait estimation.
+
+The paper reports O(log n) DEPQ put/get adding <0.16% request latency,
+<3.2 kbps control-plane traffic per worker, and asynchronous batch-wait
+distribution updates of complexity O(M * N).  These are true wall-clock
+microbenchmarks (multiple rounds), unlike the figure-reproduction runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch_wait import BatchWaitEstimator
+from repro.core.depq import MinMaxHeap
+from repro.core.state_planner import StatePlanner
+from repro.policies.naive import NaivePolicy
+
+from tests.conftest import make_cluster, tiny_chain_app
+
+
+def test_depq_push_pop_throughput(benchmark):
+    keys = np.random.default_rng(0).random(1024).tolist()
+
+    def workload():
+        heap: MinMaxHeap[float] = MinMaxHeap()
+        for k in keys:
+            heap.push(k, k)
+        for i in range(512):
+            if i % 2:
+                heap.pop_min()
+            else:
+                heap.pop_max()
+        return heap
+
+    heap = benchmark(workload)
+    assert len(heap) == 512
+    per_op = benchmark.stats.stats.mean / (1024 + 512)
+    print(f"\nDEPQ mean cost per operation: {per_op * 1e6:.2f} us "
+          f"(queue length 1024)")
+    # Far below a per-request latency budget of hundreds of ms.
+    assert per_op < 1e-3
+
+
+def test_depq_scaling_is_logarithmic(benchmark):
+    """Cost per op grows mildly with queue size (log n, not linear)."""
+
+    def cost(n: int) -> float:
+        import time
+
+        heap: MinMaxHeap[int] = MinMaxHeap()
+        for i in range(n):
+            heap.push(float(i % 97), i)
+        t0 = time.perf_counter()
+        ops = 2000
+        for i in range(ops):
+            heap.push(float(i % 89), i)
+            if i % 2:
+                heap.pop_min()
+            else:
+                heap.pop_max()
+        return (time.perf_counter() - t0) / ops
+
+    results = benchmark.pedantic(
+        lambda: {n: cost(n) for n in (100, 10_000)}, rounds=1, iterations=1
+    )
+    print(f"\nDEPQ per-op cost: n=100 -> {results[100] * 1e6:.2f}us, "
+          f"n=10000 -> {results[10_000] * 1e6:.2f}us")
+    # 100x more elements must cost far less than 100x per op.
+    assert results[10_000] < results[100] * 10
+
+
+def test_state_sync_payload_size(benchmark):
+    cluster = make_cluster(NaivePolicy(), app=tiny_chain_app(n=3))
+    planner = StatePlanner(samples=1000)
+    planner.bind(cluster)
+
+    payload = benchmark(planner.sync_payload_bytes)
+    per_second_bits = payload * 8  # one sync per second
+    print(f"\nstate-sync payload: {payload} bytes/sync = "
+          f"{per_second_bits / 1000:.2f} kbps")
+    # Paper: < 3.2 kbps per worker.
+    assert per_second_bits < 10_000
+
+
+def test_batch_wait_update_cost(benchmark):
+    """The O(M*N) distribution update must be cheap enough to run every
+    sync tick (paper: asynchronous, no added request latency)."""
+    est = BatchWaitEstimator(lam=0.1, samples=10_000, seed=0)
+    durations = [0.05] * 5
+    observed = [list(np.random.default_rng(i).uniform(0, 0.05, 200))
+                for i in range(5)]
+
+    benchmark(est.estimate, durations, observed)
+    mean = benchmark.stats.stats.mean
+    print(f"\nbatch-wait estimate (M=10k, N=5): {mean * 1000:.2f} ms")
+    assert mean < 0.25  # well within a 1 s sync interval
+
+
+def test_drop_decision_cost(benchmark):
+    """End-to-end cost of one PARD drop decision (estimate + compare)."""
+    from repro.core.policy import PardPolicy
+    from repro.interfaces import DropContext
+    from repro.simulation.request import Request
+
+    policy = PardPolicy(samples=1000, seed=0)
+    cluster = make_cluster(policy, app=tiny_chain_app(n=3))
+    policy.on_tick(0.0)
+    module = cluster.modules["m1"]
+    request = Request(sent_at=0.0, slo=0.3)
+    ctx = DropContext(
+        request=request,
+        module=module,
+        worker=module.workers[0],
+        now=0.01,
+        expected_start=0.02,
+        batch_duration=module.planned_duration,
+        slo=0.3,
+    )
+
+    benchmark(policy.should_drop, ctx)
+    mean = benchmark.stats.stats.mean
+    print(f"\nPARD drop decision: {mean * 1e6:.2f} us")
+    # Negligible versus a ~300 ms SLO (paper: < 0.16% added latency).
+    assert mean < 0.3 * 0.0016

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Offline profiling: from timed forward passes to a serving deployment.
+
+PARD profiles every model before startup to learn its batch-latency curve
+d(B); all online estimation then runs off the profile. This example times
+a noisy synthetic device, fits the affine profile, registers it, plans
+batch sizes against an SLO, and serves a short workload with the fitted
+profiles end to end.
+
+Run:  python examples/offline_profiling.py
+"""
+
+from __future__ import annotations
+
+from repro import PardPolicy
+from repro.metrics import summarize
+from repro.pipeline import Application, ProfileRegistry, chain
+from repro.profiling import OfflineProfiler, SyntheticGpu
+from repro.simulation import Cluster, Simulator, plan_batch_sizes
+from repro.workload import poisson_trace, replay
+
+DEVICES = {
+    "detector": SyntheticGpu(base=0.028, per_item=0.009, jitter=0.04),
+    "classifier": SyntheticGpu(base=0.014, per_item=0.005, jitter=0.04),
+    "tracker": SyntheticGpu(base=0.010, per_item=0.004, jitter=0.04),
+}
+
+
+def main() -> None:
+    registry = ProfileRegistry()
+    print("offline profiling (30 timed passes per batch size):")
+    for name, gpu in DEVICES.items():
+        profiler = OfflineProfiler(repeats=30, seed=1)
+        profiler.measure(gpu)
+        profile = profiler.fit(name, max_batch=gpu.max_batch)
+        registry.register(profile)
+        err = profiler.fit_error(gpu, profile)
+        print(f"  {name:11s} fitted d(B) = {profile.base * 1000:.1f}ms "
+              f"+ {profile.per_item * 1000:.2f}ms*B  "
+              f"(max fit error {err:.1%})")
+
+    app = Application(spec=chain("profiled", list(DEVICES)), slo=0.350)
+    plan = plan_batch_sizes(app.spec, registry, app.slo)
+    print(f"\nbatch plan for a {app.slo * 1000:.0f}ms SLO: "
+          + ", ".join(f"{m}={b}" for m, b in plan.items()))
+
+    cluster = Cluster(
+        sim=Simulator(), app=app, policy=PardPolicy(seed=1),
+        workers=2, registry=registry, batch_plan=plan,
+    )
+    trace = poisson_trace(rate=90.0, duration=30.0, seed=1)
+    replay(trace, cluster)
+    print(f"\nserved 90 req/s for 30s: "
+          f"{summarize(cluster.metrics, duration=trace.duration)}")
+
+
+if __name__ == "__main__":
+    main()

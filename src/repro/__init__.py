@@ -1,0 +1,84 @@
+"""PARD reproduction: proactive request dropping for inference pipelines.
+
+Public API quick tour::
+
+    from repro import (
+        PardPolicy, NexusPolicy, ClipperPlusPlusPolicy, NaivePolicy,
+        get_application, get_trace,
+        ExperimentConfig, run_experiment, summarize,
+    )
+
+    config = ExperimentConfig(app="lv", trace="tweet", base_rate=60, duration=120)
+    result = run_experiment(config, PardPolicy())
+    print(result.summary)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from .core import (
+    BatchWaitEstimator,
+    BudgetMode,
+    MinMaxHeap,
+    PardPolicy,
+    PriorityMode,
+    StatePlanner,
+    SubMode,
+    WaitMode,
+)
+from .experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    compare_policies,
+    run_experiment,
+    standard_config,
+)
+from .metrics import MetricsCollector, Summary, summarize
+from .pipeline import Application, ModelProfile, PipelineSpec, get_application
+from .policies import (
+    ClipperPlusPlusPolicy,
+    DropPolicy,
+    NaivePolicy,
+    NexusPolicy,
+    OverloadControlPolicy,
+    make_ablation,
+)
+from .simulation import Cluster, Request, Simulator
+from .workload import Trace, get_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "BatchWaitEstimator",
+    "BudgetMode",
+    "ClipperPlusPlusPolicy",
+    "Cluster",
+    "DropPolicy",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MetricsCollector",
+    "MinMaxHeap",
+    "ModelProfile",
+    "NaivePolicy",
+    "NexusPolicy",
+    "OverloadControlPolicy",
+    "PardPolicy",
+    "PipelineSpec",
+    "PriorityMode",
+    "Request",
+    "Simulator",
+    "StatePlanner",
+    "SubMode",
+    "Summary",
+    "Trace",
+    "WaitMode",
+    "compare_policies",
+    "get_application",
+    "get_trace",
+    "make_ablation",
+    "run_experiment",
+    "standard_config",
+    "summarize",
+    "__version__",
+]

@@ -1,0 +1,140 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run --app lv --trace tweet --policy PARD --duration 60
+    python -m repro compare --app tm --trace azure --duration 45
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.configs import (
+    APPS,
+    SYSTEM_FACTORIES,
+    TRACES,
+    standard_config,
+)
+from .experiments.runner import run_experiment
+from .metrics.report import comparison_table, per_module_drop_table
+from .policies.ablations import ABLATIONS
+from .policies.base import DropPolicy
+from .policies.clipper import ClipperPlusPlusPolicy
+from .policies.naive import NaivePolicy
+from .policies.nexus import NexusPolicy
+
+
+def _make_policy(name: str, seed: int) -> DropPolicy:
+    builders = {
+        "Nexus": lambda: NexusPolicy(),
+        "Clipper++": lambda: ClipperPlusPlusPolicy(),
+        "Naive": lambda: NaivePolicy(),
+    }
+    if name in builders:
+        return builders[name]()
+    if name in ABLATIONS:
+        return ABLATIONS[name](seed=seed)
+    known = sorted(set(builders) | set(ABLATIONS))
+    raise SystemExit(f"unknown policy {name!r}; known: {', '.join(known)}")
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", choices=APPS, default="lv")
+    p.add_argument("--trace", choices=TRACES, default="tweet")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="trace duration in simulated seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--utilization", type=float, default=0.9,
+                   help="mean load as a fraction of provisioned capacity")
+    p.add_argument("--slo", type=float, default=None,
+                   help="override the application SLO (seconds)")
+    p.add_argument("--no-scaling", action="store_true",
+                   help="disable the reactive worker scaler")
+
+
+def _config(args: argparse.Namespace):
+    overrides = dict(
+        duration=args.duration,
+        seed=args.seed,
+        utilization=args.utilization,
+        scaling=not args.no_scaling,
+    )
+    if args.slo is not None:
+        overrides["slo"] = args.slo
+    return standard_config(args.app, args.trace, **overrides)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config(args)
+    policy = _make_policy(args.policy, args.seed)
+    result = run_experiment(config, policy)
+    print(f"{args.app} x {args.trace} for {args.duration:.0f}s "
+          f"(base rate ~{config.resolve_base_rate():.0f} req/s)")
+    print(comparison_table({result.policy_name: result},
+                           markdown=args.markdown))
+    print()
+    print(per_module_drop_table({result.policy_name: result},
+                                markdown=args.markdown))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _config(args)
+    results = {}
+    names = args.policies.split(",") if args.policies else list(SYSTEM_FACTORIES)
+    for name in names:
+        results[name] = run_experiment(config, _make_policy(name, args.seed))
+    print(f"{args.app} x {args.trace} for {args.duration:.0f}s "
+          f"(base rate ~{config.resolve_base_rate():.0f} req/s)")
+    print(comparison_table(results, markdown=args.markdown))
+    print()
+    print(per_module_drop_table(results, markdown=args.markdown))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("applications:", ", ".join(APPS))
+    print("traces:      ", ", ".join(TRACES))
+    print("systems:     ", ", ".join(SYSTEM_FACTORIES))
+    print("ablations:   ", ", ".join(sorted(ABLATIONS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARD reproduction: serve inference pipelines under "
+                    "drop policies and report goodput metrics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one policy on one workload")
+    _add_workload_args(p_run)
+    p_run.add_argument("--policy", default="PARD")
+    p_run.add_argument("--markdown", action="store_true")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare policies on a workload")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument(
+        "--policies", default="",
+        help="comma-separated policy names (default: the four systems)",
+    )
+    p_cmp.add_argument("--markdown", action="store_true")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_list = sub.add_parser("list", help="list apps, traces and policies")
+    p_list.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

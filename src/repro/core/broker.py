@@ -1,0 +1,75 @@
+"""Request Broker: per-request end-to-end latency estimation (Equation 3).
+
+At decision time ``t_b`` (a request is drawn from the DEPQ toward a forming
+batch) the broker has all bi-directional runtime information:
+
+* backward — ``L_pre + Q_k + W_k = t_e - t_s`` (elapsed time to the expected
+  batch start; t_s travels with the request, t_e is known because the next
+  batch starts exactly when the executing one finishes);
+* current — ``D_k = d_k`` from offline profiling at the planned batch size;
+* forward — ``L_sub`` from the State Planner (Equation 3b's q/d/w sums,
+  maximum over DAG paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interfaces import DropContext
+from .state_planner import StatePlanner
+
+
+class SubMode:
+    """What the forward component L_sub includes (ablation knob)."""
+
+    FULL = "full"  # PARD: sum q + sum d + w_k
+    NONE = "none"  # PARD-back: L_sub = 0 (Clockwork/Nexus/Scrooge-like)
+    DURATIONS = "durations"  # PARD-sf: sum d only (DREAM-like)
+
+    ALL = (FULL, NONE, DURATIONS)
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Decomposed end-to-end estimate for one request at one module."""
+
+    backward: float  # t_e - t_s: everything up to the expected batch start
+    current_exec: float  # d_k
+    sub: float  # L_sub estimate for downstream modules
+
+    @property
+    def total(self) -> float:
+        return self.backward + self.current_exec + self.sub
+
+
+class RequestBroker:
+    """Computes Equation 3 estimates from a bound State Planner."""
+
+    def __init__(self, planner: StatePlanner, sub_mode: str = SubMode.FULL) -> None:
+        if sub_mode not in SubMode.ALL:
+            raise ValueError(f"unknown sub mode {sub_mode!r}")
+        self.planner = planner
+        self.sub_mode = sub_mode
+
+    def estimate(self, ctx: DropContext) -> LatencyEstimate:
+        """End-to-end latency estimate for the request in ``ctx``."""
+        backward = ctx.expected_start - ctx.request.sent_at
+        if self.sub_mode == SubMode.NONE:
+            sub = 0.0
+        elif self.sub_mode == SubMode.DURATIONS:
+            sub = self._durations_only(ctx.module.spec.id)
+        else:
+            sub = self.planner.sub_estimate(ctx.module.spec.id)
+        return LatencyEstimate(
+            backward=backward, current_exec=ctx.batch_duration, sub=sub
+        )
+
+    def _durations_only(self, module_id: str) -> float:
+        """Max over downstream paths of the profiled execution durations."""
+        assert self.planner.cluster is not None
+        spec = self.planner.cluster.spec
+        best = 0.0
+        for path in spec.paths_from(module_id):
+            total = sum(self.planner.state(mid).duration for mid in path)
+            best = max(best, total)
+        return best

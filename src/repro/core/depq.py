@@ -1,0 +1,187 @@
+"""Double-ended priority queue backed by a min-max heap.
+
+PARD keeps each worker's pending requests in a DEPQ keyed by remaining
+latency budget, so it can pop either the request with the *smallest*
+remaining budget (Low-Budget-First, steady workloads) or the *largest*
+(High-Budget-First, overload) in O(log n) — the data structure the paper
+names in §4.3 and measures in §5.4.
+
+The implementation is the classic Atkinson et al. min-max heap: even levels
+are min-ordered, odd levels max-ordered.  Entries carry an insertion
+sequence number so equal keys pop in FIFO order (deterministic runs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+def _level(i: int) -> int:
+    """Heap level of index ``i`` (root = level 0)."""
+    return (i + 1).bit_length() - 1
+
+
+def _is_min_level(i: int) -> bool:
+    return _level(i) % 2 == 0
+
+
+class MinMaxHeap(Generic[T]):
+    """Min-max heap over (key, seq, item) entries."""
+
+    def __init__(self) -> None:
+        self._h: list[tuple[float, int, T]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._h)
+
+    def __bool__(self) -> bool:
+        return bool(self._h)
+
+    # -- public API ---------------------------------------------------------
+
+    def push(self, key: float, item: T) -> None:
+        """Insert ``item`` with priority ``key``."""
+        self._h.append((key, next(self._seq), item))
+        self._bubble_up(len(self._h) - 1)
+
+    def peek_min(self) -> T:
+        """Item with the smallest key (FIFO among equal keys)."""
+        return self._h[self._min_index()][2]
+
+    def peek_max(self) -> T:
+        """Item with the largest key (LIFO among equal keys)."""
+        return self._h[self._max_index()][2]
+
+    def min_key(self) -> float:
+        return self._h[self._min_index()][0]
+
+    def max_key(self) -> float:
+        return self._h[self._max_index()][0]
+
+    def pop_min(self) -> T:
+        """Remove and return the item with the smallest key."""
+        return self._pop_at(self._min_index())
+
+    def pop_max(self) -> T:
+        """Remove and return the item with the largest key."""
+        return self._pop_at(self._max_index())
+
+    def items(self) -> list[T]:
+        """All items in heap (arbitrary) order."""
+        return [e[2] for e in self._h]
+
+    # -- internals ----------------------------------------------------------
+
+    def _min_index(self) -> int:
+        if not self._h:
+            raise IndexError("empty heap")
+        return 0
+
+    def _max_index(self) -> int:
+        h = self._h
+        if not h:
+            raise IndexError("empty heap")
+        if len(h) == 1:
+            return 0
+        if len(h) == 2:
+            return 1
+        # Max is one of the two children of the root (level 1 is max level).
+        # The heap's total order is (key, seq), so the comparison must use
+        # the same order to stay consistent with the invariant.
+        return 1 if self._less(h[2], h[1]) else 2
+
+    def _pop_at(self, i: int) -> T:
+        h = self._h
+        item = h[i][2]
+        last = h.pop()
+        if i < len(h):
+            h[i] = last
+            self._trickle_down(i)
+        return item
+
+    @staticmethod
+    def _less(a: tuple[float, int, Any], b: tuple[float, int, Any]) -> bool:
+        """Strict ordering on (key, seq): seq breaks ties FIFO."""
+        return (a[0], a[1]) < (b[0], b[1])
+
+    def _swap(self, i: int, j: int) -> None:
+        h = self._h
+        h[i], h[j] = h[j], h[i]
+
+    def _bubble_up(self, i: int) -> None:
+        if i == 0:
+            return
+        h = self._h
+        parent = (i - 1) >> 1
+        if _is_min_level(i):
+            if self._less(h[parent], h[i]):
+                self._swap(i, parent)
+                self._bubble_up_grand(parent, is_min=False)
+            else:
+                self._bubble_up_grand(i, is_min=True)
+        else:
+            if self._less(h[i], h[parent]):
+                self._swap(i, parent)
+                self._bubble_up_grand(parent, is_min=True)
+            else:
+                self._bubble_up_grand(i, is_min=False)
+
+    def _bubble_up_grand(self, i: int, is_min: bool) -> None:
+        h = self._h
+        while i >= 3:
+            grand = ((i - 1) >> 1) - 1 >> 1
+            if is_min:
+                if self._less(h[i], h[grand]):
+                    self._swap(i, grand)
+                    i = grand
+                else:
+                    return
+            else:
+                if self._less(h[grand], h[i]):
+                    self._swap(i, grand)
+                    i = grand
+                else:
+                    return
+
+    def _descendants(self, i: int) -> list[tuple[int, bool]]:
+        """(index, is_grandchild) for children and grandchildren of ``i``."""
+        n = len(self._h)
+        out: list[tuple[int, bool]] = []
+        for c in (2 * i + 1, 2 * i + 2):
+            if c < n:
+                out.append((c, False))
+                for g in (2 * c + 1, 2 * c + 2):
+                    if g < n:
+                        out.append((g, True))
+        return out
+
+    def _trickle_down(self, i: int) -> None:
+        is_min = _is_min_level(i)
+        h = self._h
+        while True:
+            desc = self._descendants(i)
+            if not desc:
+                return
+            if is_min:
+                m, is_grand = min(desc, key=lambda d: (h[d[0]][0], h[d[0]][1]))
+                if not self._less(h[m], h[i]):
+                    return
+            else:
+                m, is_grand = max(desc, key=lambda d: (h[d[0]][0], h[d[0]][1]))
+                if not self._less(h[i], h[m]):
+                    return
+            self._swap(i, m)
+            if not is_grand:
+                return
+            parent = (m - 1) >> 1
+            if is_min:
+                if self._less(h[parent], h[m]):
+                    self._swap(m, parent)
+            else:
+                if self._less(h[m], h[parent]):
+                    self._swap(m, parent)
+            i = m

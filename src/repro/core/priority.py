@@ -1,0 +1,187 @@
+"""Adaptive request priority (§4.3).
+
+Requests in each worker's DEPQ are keyed by their remaining latency budget
+(equivalently, absolute deadline).  Depending on the module load factor
+``mu = T_in / T_m`` the broker pops from one end or the other:
+
+* ``mu > 1 + eps`` — High Budget First (HBF): the module is
+  under-provisioned; serving large-budget requests first keeps queueing
+  from eating everyone's budget.
+* ``mu < 1 - eps`` — Low Budget First (LBF): steady workload; serving
+  tight-budget requests first (earliest-deadline-first) avoids drops
+  caused by batch-wait uncertainty.
+* in between — keep the previous mode (delayed transition), with
+  ``eps = sum |T_in - T_s| / sum T_in`` computed from the smoothed
+  workload, so bursty traces get a wider hysteresis band.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..interfaces import RequestQueue
+from ..simulation.request import Request
+from .depq import MinMaxHeap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..simulation.module import Module
+
+
+class PriorityMode:
+    """Queue-ordering strategies (fixed modes double as ablations)."""
+
+    ADAPTIVE = "adaptive"  # PARD: HBF/LBF with delayed transition
+    INSTANT = "instant"  # PARD-instant: HBF/LBF, no hysteresis
+    HBF = "hbf"  # PARD-HBF: always High Budget First
+    LBF = "lbf"  # PARD-LBF: always Low Budget First (SHEPHERD-like)
+    FCFS = "fcfs"  # PARD-FCFS: arrival order (Nexus/Clipper++-like)
+
+    ALL = (ADAPTIVE, INSTANT, HBF, LBF, FCFS)
+
+
+@dataclass
+class TransitionEvent:
+    """Recorded HBF/LBF switch (drives Figure 13)."""
+
+    time: float
+    module_id: str
+    mode: str
+    load_factor: float
+    epsilon: float
+
+
+class LoadSmoother:
+    """Tracks T_in samples and the smoothed workload T_s for epsilon.
+
+    ``eps = sum |T_in - T_s| / sum T_in`` over the retained sample window —
+    small for stable traces, large for bursty ones, which widens the
+    hysteresis band exactly when workload fluctuations would otherwise
+    cause priority flapping.
+    """
+
+    def __init__(self, history: int = 10, smooth: int = 5) -> None:
+        if history < 1 or smooth < 1:
+            raise ValueError("history and smooth must be >= 1")
+        self._rates: deque[float] = deque(maxlen=history)
+        self._smooth_n = smooth
+
+    def record(self, rate: float) -> None:
+        self._rates.append(rate)
+
+    def smoothed(self) -> float:
+        """T_s: sliding-window average of recent input rates."""
+        if not self._rates:
+            return 0.0
+        recent = list(self._rates)[-self._smooth_n :]
+        return sum(recent) / len(recent)
+
+    def epsilon(self) -> float:
+        """Hysteresis half-width from workload variability."""
+        if not self._rates:
+            return 0.0
+        rates = list(self._rates)
+        total = sum(rates)
+        if total <= 0:
+            return 0.0
+        # |T_in - T_s| accumulated against the running smoothed rate.
+        dev = 0.0
+        window: deque[float] = deque(maxlen=self._smooth_n)
+        for r in rates:
+            window.append(r)
+            t_s = sum(window) / len(window)
+            dev += abs(r - t_s)
+        return dev / total
+
+
+class AdaptivePriorityController:
+    """Per-module HBF/LBF mode selection with delayed transition."""
+
+    def __init__(self, mode: str = PriorityMode.ADAPTIVE) -> None:
+        if mode not in PriorityMode.ALL:
+            raise ValueError(f"unknown priority mode {mode!r}")
+        self.mode = mode
+        self._current: dict[str, str] = {}
+        self._smoothers: dict[str, LoadSmoother] = {}
+        self.transitions: list[TransitionEvent] = []
+        self.load_history: list[tuple[float, str, float]] = []
+
+    def current(self, module_id: str) -> str:
+        """Active ordering for ``module_id``: 'hbf', 'lbf' or 'fcfs'."""
+        if self.mode == PriorityMode.FCFS:
+            return PriorityMode.FCFS
+        if self.mode in (PriorityMode.HBF, PriorityMode.LBF):
+            return self.mode
+        return self._current.get(module_id, PriorityMode.LBF)
+
+    @staticmethod
+    def effective_load(module: "Module", now: float) -> float:
+        """Workload intensity mu, including backlog pressure.
+
+        ``T_in / T_m`` alone goes quiet the moment a burst ends even though
+        the accumulated queue still exceeds what the module can drain within
+        an SLO; the backlog term keeps HBF active until the queue is
+        serviceable again (the paper's "workload intensity" is measured the
+        same way on the worker side).
+        """
+        t_m = module.throughput()
+        if t_m <= 0:
+            return float("inf")
+        backlog = module.queue_length() / (t_m * module.cluster.slo)
+        return module.stats.input_rate(now) / t_m + backlog
+
+    def update(self, module: "Module", now: float) -> str:
+        """Re-evaluate the mode for one module at a sync tick."""
+        if self.mode in (PriorityMode.FCFS, PriorityMode.HBF, PriorityMode.LBF):
+            return self.current(module.spec.id)
+        mid = module.spec.id
+        smoother = self._smoothers.setdefault(mid, LoadSmoother())
+        rate = module.stats.input_rate(now)
+        smoother.record(rate)
+        mu = self.effective_load(module, now)
+        eps = 0.0 if self.mode == PriorityMode.INSTANT else smoother.epsilon()
+        self.load_history.append((now, mid, mu))
+        prev = self._current.get(mid, PriorityMode.LBF)
+        if mu > 1.0 + eps:
+            new = PriorityMode.HBF
+        elif mu < 1.0 - eps:
+            new = PriorityMode.LBF
+        else:
+            new = prev  # delayed transition: hold inside the dead band
+        if new != prev or mid not in self._current:
+            self._current[mid] = new
+            self.transitions.append(
+                TransitionEvent(now, mid, new, mu, eps)
+            )
+        return new
+
+
+class DeadlineDepqQueue(RequestQueue):
+    """Worker queue: DEPQ keyed by absolute deadline.
+
+    Remaining budget at a common 'now' orders identically to the absolute
+    deadline ``t_s + SLO``, so the key never needs re-weighting as time
+    passes.  LBF pops the earliest deadline (min end), HBF the latest
+    (max end).  The FCFS ablation uses a plain FIFO queue instead (the
+    policy's ``make_queue`` handles that), so modes never mix here.
+    """
+
+    def __init__(self, module: "Module", controller: AdaptivePriorityController) -> None:
+        self._module = module
+        self._controller = controller
+        self._heap: MinMaxHeap[Request] = MinMaxHeap()
+
+    def push(self, request: Request, now: float) -> None:
+        self._heap.push(request.deadline, request)
+
+    def pop(self, now: float) -> Request | None:
+        if not self._heap:
+            return None
+        mode = self._controller.current(self._module.spec.id)
+        if mode == PriorityMode.HBF:
+            return self._heap.pop_max()
+        return self._heap.pop_min()
+
+    def __len__(self) -> int:
+        return len(self._heap)

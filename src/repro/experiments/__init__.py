@@ -1,0 +1,23 @@
+"""Experiment harness reproducing the paper's evaluation."""
+
+from .configs import APPS, SYSTEM_FACTORIES, TRACES, all_workloads, standard_config
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    build_cluster,
+    compare_policies,
+    run_experiment,
+)
+
+__all__ = [
+    "APPS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SYSTEM_FACTORIES",
+    "TRACES",
+    "all_workloads",
+    "build_cluster",
+    "compare_policies",
+    "run_experiment",
+    "standard_config",
+]

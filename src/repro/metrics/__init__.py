@@ -1,0 +1,42 @@
+"""Metrics: per-request records and the paper's §5.1 measures."""
+
+from .analysis import (
+    Summary,
+    consumed_budget_per_module,
+    drop_rate_at_min_goodput,
+    drop_rate_series,
+    drops_per_module,
+    goodput_series,
+    latency_component_cdf,
+    latency_percentiles,
+    max_drop_rate,
+    min_normalized_goodput,
+    normalized_goodput_series,
+    slo_attainment_curve,
+    summarize,
+)
+from .collector import MetricsCollector, RequestRecord, VisitRecord
+from .report import comparison_table, format_table, pct, per_module_drop_table
+
+__all__ = [
+    "MetricsCollector",
+    "RequestRecord",
+    "Summary",
+    "VisitRecord",
+    "consumed_budget_per_module",
+    "drop_rate_at_min_goodput",
+    "drop_rate_series",
+    "drops_per_module",
+    "goodput_series",
+    "latency_component_cdf",
+    "latency_percentiles",
+    "max_drop_rate",
+    "min_normalized_goodput",
+    "normalized_goodput_series",
+    "slo_attainment_curve",
+    "summarize",
+    "comparison_table",
+    "format_table",
+    "pct",
+    "per_module_drop_table",
+]

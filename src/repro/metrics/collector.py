@@ -1,0 +1,122 @@
+"""Per-request outcome records and the run-level collector.
+
+The collector is the single source of truth for every metric the paper
+reports: goodput, drop rate, invalid rate (wasted GPU time), per-module
+drop distribution, transient rates and latency decompositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simulation.request import DropReason, Request, RequestStatus
+
+
+@dataclass(frozen=True)
+class VisitRecord:
+    """Latency decomposition of one executed module visit."""
+
+    module_id: str
+    queueing_delay: float
+    batch_wait: float
+    execution: float
+    gpu_time: float
+    batch_size: int
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable outcome of one request (terminal state)."""
+
+    rid: int
+    sent_at: float
+    finished_at: float
+    status: RequestStatus
+    met_slo: bool
+    slo: float
+    gpu_time: float
+    dropped_at_module: str | None
+    drop_reason: DropReason | None
+    visits: tuple[VisitRecord, ...] = field(default_factory=tuple)
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.sent_at
+
+    @property
+    def counts_as_dropped(self) -> bool:
+        """Paper §5.1: completed-but-SLO-violating requests count as dropped."""
+        return self.status is RequestStatus.DROPPED or not self.met_slo
+
+    @property
+    def wasted_gpu_time(self) -> float:
+        """GPU time that produced no SLO-compliant result."""
+        return self.gpu_time if self.counts_as_dropped else 0.0
+
+
+def _visit_records(request: Request) -> tuple[VisitRecord, ...]:
+    out = []
+    for v in request.visits.values():
+        if v.t_exec_end is None:
+            continue  # never executed at this module (queued/forming when dropped)
+        out.append(
+            VisitRecord(
+                module_id=v.module_id,
+                queueing_delay=v.queueing_delay,
+                batch_wait=v.batch_wait,
+                execution=v.execution,
+                gpu_time=v.gpu_time,
+                batch_size=v.batch_size,
+            )
+        )
+    return tuple(out)
+
+
+class MetricsCollector:
+    """Accumulates request outcomes during a simulation run."""
+
+    def __init__(self) -> None:
+        self.records: list[RequestRecord] = []
+        self.submitted = 0
+
+    def record_submitted(self) -> None:
+        self.submitted += 1
+
+    def record_request(self, request: Request) -> None:
+        """Snapshot a request that has reached a terminal state."""
+        if request.status is RequestStatus.IN_FLIGHT:
+            raise ValueError(f"request {request.rid} is still in flight")
+        assert request.finished_at is not None
+        self.records.append(
+            RequestRecord(
+                rid=request.rid,
+                sent_at=request.sent_at,
+                finished_at=request.finished_at,
+                status=request.status,
+                met_slo=request.met_slo,
+                slo=request.slo,
+                gpu_time=request.gpu_time,
+                dropped_at_module=request.dropped_at_module,
+                drop_reason=request.drop_reason,
+                visits=_visit_records(request),
+            )
+        )
+
+    # -- convenience views ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> list[RequestRecord]:
+        return [r for r in self.records if r.status is RequestStatus.COMPLETED]
+
+    @property
+    def good(self) -> list[RequestRecord]:
+        """Requests that completed within their SLO."""
+        return [r for r in self.records if r.met_slo]
+
+    @property
+    def dropped(self) -> list[RequestRecord]:
+        """Explicit drops plus SLO-violating completions (paper §5.1)."""
+        return [r for r in self.records if r.counts_as_dropped]

@@ -1,0 +1,83 @@
+"""Plain-text and markdown report formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .analysis import drops_per_module
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiments.runner import ExperimentResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    markdown: bool = False,
+) -> str:
+    """Render a column-aligned text table (or a markdown table)."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |",
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+        ]
+        for row in str_rows:
+            lines.append(
+                "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+            )
+    else:
+        lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+        for row in str_rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(x: float) -> str:
+    """Format a ratio as a percentage cell."""
+    return f"{x * 100:.2f}%"
+
+
+def comparison_table(
+    results: "dict[str, ExperimentResult]", markdown: bool = False
+) -> str:
+    """Goodput / drop-rate / invalid-rate table across policies."""
+    headers = ["policy", "goodput (req/s)", "drop rate", "invalid rate",
+               "good", "total"]
+    rows = []
+    for label, res in results.items():
+        s = res.summary
+        rows.append([
+            label,
+            f"{s.goodput:.1f}",
+            pct(s.drop_rate),
+            pct(s.invalid_rate),
+            str(s.good),
+            str(s.total),
+        ])
+    return format_table(headers, rows, markdown=markdown)
+
+
+def per_module_drop_table(
+    results: "dict[str, ExperimentResult]", markdown: bool = False
+) -> str:
+    """Share of explicit drops at each module, per policy."""
+    any_result = next(iter(results.values()))
+    module_ids = any_result.module_ids
+    headers = ["policy", *module_ids]
+    rows = []
+    for label, res in results.items():
+        shares = drops_per_module(res.collector, module_ids)
+        rows.append([label, *(pct(shares[m]) for m in module_ids)])
+    return format_table(headers, rows, markdown=markdown)

@@ -1,0 +1,21 @@
+"""Pipeline specifications, model profiles and the paper's applications."""
+
+from .applications import APPLICATIONS, Application, da, get_application, gm, lv, tm
+from .profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
+from .spec import ModuleSpec, PipelineSpec, chain
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "DEFAULT_PROFILES",
+    "ModelProfile",
+    "ModuleSpec",
+    "PipelineSpec",
+    "ProfileRegistry",
+    "chain",
+    "da",
+    "get_application",
+    "gm",
+    "lv",
+    "tm",
+]

@@ -1,0 +1,97 @@
+"""The paper's four pipeline applications.
+
+Following §5.1:
+
+* ``tm`` — traffic monitoring, 3 models, SLO 400 ms.
+* ``lv`` — live video analysis, 5 models, SLO 500 ms.
+* ``gm`` — game analysis, 5 models, SLO 600 ms.
+* ``da`` — DAG-style live video analysis, SLO 420 ms: person detection fans
+  out to pose recognition and face recognition in parallel, merged by
+  expression recognition (then eye tracking as the exit stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import ModuleSpec, PipelineSpec, chain
+
+
+@dataclass(frozen=True)
+class Application:
+    """A pipeline spec plus its end-to-end latency objective."""
+
+    spec: PipelineSpec
+    slo: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def tm() -> Application:
+    """Traffic monitoring: vehicle and pedestrian analysis (3 modules)."""
+    spec = chain("tm", ["object_detection", "face_recognition", "text_recognition"])
+    return Application(spec=spec, slo=0.400)
+
+
+def lv() -> Application:
+    """Live video analysis (5 modules)."""
+    spec = chain(
+        "lv",
+        [
+            "person_detection",
+            "face_recognition",
+            "expression_recognition",
+            "eye_tracking",
+            "pose_recognition",
+        ],
+    )
+    return Application(spec=spec, slo=0.500)
+
+
+def gm() -> Application:
+    """Game-stream analysis (5 modules)."""
+    spec = chain(
+        "gm",
+        [
+            "object_detection",
+            "kill_count_detection",
+            "alive_player_recognition",
+            "health_value_recognition",
+            "icon_recognition",
+        ],
+    )
+    return Application(spec=spec, slo=0.600)
+
+
+def da() -> Application:
+    """DAG-style live video analysis (fork/join), SLO 420 ms.
+
+    person detection -> {pose recognition, face recognition} -> expression
+    recognition (join) -> eye tracking.
+    """
+    spec = PipelineSpec(
+        name="da",
+        modules=[
+            ModuleSpec("m1", "person_detection", pres=(), subs=("m2", "m3")),
+            ModuleSpec("m2", "pose_recognition", pres=("m1",), subs=("m4",)),
+            ModuleSpec("m3", "face_recognition", pres=("m1",), subs=("m4",)),
+            ModuleSpec("m4", "expression_recognition", pres=("m2", "m3"), subs=("m5",)),
+            ModuleSpec("m5", "eye_tracking", pres=("m4",), subs=()),
+        ],
+    )
+    return Application(spec=spec, slo=0.420)
+
+
+APPLICATIONS = {"tm": tm, "lv": lv, "gm": gm, "da": da}
+
+
+def get_application(name: str) -> Application:
+    """Look up one of the paper's applications by name."""
+    try:
+        return APPLICATIONS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(APPLICATIONS)}"
+        ) from None

@@ -1,0 +1,189 @@
+"""Pipeline specifications.
+
+A pipeline is a DAG of modules; each module serves one DNN model.  This
+mirrors the paper's JSON configuration format, where every module is a
+``(name, id, pres, subs)`` record: ``name`` is the model registered in the
+application library, ``pres``/``subs`` the preceding/subsequent module ids.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One module (one DNN model) in the pipeline DAG."""
+
+    id: str
+    model: str
+    pres: tuple[str, ...] = ()
+    subs: tuple[str, ...] = ()
+
+
+@dataclass
+class PipelineSpec:
+    """A validated DAG of :class:`ModuleSpec`.
+
+    ``modules`` preserves declaration order, which is also the display order
+    used by metrics (M1..MN for chains).
+    """
+
+    name: str
+    modules: list[ModuleSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_id = {m.id: m for m in self.modules}
+        if len(self._by_id) != len(self.modules):
+            raise ValueError(f"duplicate module ids in pipeline {self.name!r}")
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(self._by_id)
+        for m in self.modules:
+            for p in m.pres:
+                if p not in self._by_id:
+                    raise ValueError(f"module {m.id!r} references unknown pre {p!r}")
+                self._graph.add_edge(p, m.id)
+            for s in m.subs:
+                if s not in self._by_id:
+                    raise ValueError(f"module {m.id!r} references unknown sub {s!r}")
+                self._graph.add_edge(m.id, s)
+        for a, b in self._graph.edges:
+            if b not in self._by_id[a].subs or a not in self._by_id[b].pres:
+                raise ValueError(
+                    f"inconsistent edge {a!r}->{b!r}: pres/subs must mirror each other"
+                )
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError(f"pipeline {self.name!r} contains a cycle")
+        if self.modules and not nx.is_weakly_connected(self._graph):
+            raise ValueError(f"pipeline {self.name!r} is not connected")
+        self._paths_cache: dict[str, list[list[str]]] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def module_ids(self) -> list[str]:
+        return [m.id for m in self.modules]
+
+    @property
+    def entry_ids(self) -> list[str]:
+        """Modules with no predecessors (requests enter here)."""
+        return [m.id for m in self.modules if not m.pres]
+
+    @property
+    def exit_ids(self) -> list[str]:
+        """Modules with no successors (requests complete here)."""
+        return [m.id for m in self.modules if not m.subs]
+
+    @property
+    def is_chain(self) -> bool:
+        """True when the DAG is a simple linear chain."""
+        return all(len(m.pres) <= 1 and len(m.subs) <= 1 for m in self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, module_id: str) -> ModuleSpec:
+        return self._by_id[module_id]
+
+    def __contains__(self, module_id: str) -> bool:
+        return module_id in self._by_id
+
+    def successors(self, module_id: str) -> tuple[str, ...]:
+        return self._by_id[module_id].subs
+
+    def predecessors(self, module_id: str) -> tuple[str, ...]:
+        return self._by_id[module_id].pres
+
+    def index_of(self, module_id: str) -> int:
+        """Position of the module in declaration order (0-based)."""
+        return self.module_ids.index(module_id)
+
+    def topological_order(self) -> list[str]:
+        """Module ids in a deterministic topological order."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def paths_from(self, module_id: str) -> list[list[str]]:
+        """All DAG paths from ``module_id`` (exclusive) to any exit module.
+
+        Used by the latency estimator: the end-to-end estimate of a request
+        at a fork is the maximum over its downstream paths.  Paths exclude
+        the starting module itself; the path for an exit module is ``[]``.
+        """
+        cached = self._paths_cache.get(module_id)
+        if cached is not None:
+            return cached
+        subs = self.successors(module_id)
+        if not subs:
+            paths: list[list[str]] = [[]]
+        else:
+            paths = []
+            for s in subs:
+                for tail in self.paths_from(s):
+                    paths.append([s, *tail])
+        self._paths_cache[module_id] = paths
+        return paths
+
+    def downstream(self, module_id: str) -> list[str]:
+        """All modules reachable from ``module_id`` (topological order)."""
+        reach = nx.descendants(self._graph, module_id)
+        return [m for m in self.topological_order() if m in reach]
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to the paper's JSON module-list format."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "modules": [
+                    {
+                        "name": m.model,
+                        "id": m.id,
+                        "pres": list(m.pres),
+                        "subs": list(m.subs),
+                    }
+                    for m in self.modules
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        """Parse the paper's JSON pipeline-definition format."""
+        data = json.loads(text)
+        modules = [
+            ModuleSpec(
+                id=str(m["id"]),
+                model=str(m["name"]),
+                pres=tuple(str(p) for p in m.get("pres", [])),
+                subs=tuple(str(s) for s in m.get("subs", [])),
+            )
+            for m in data["modules"]
+        ]
+        return cls(name=str(data.get("name", "pipeline")), modules=modules)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "PipelineSpec":
+        return cls.from_json(Path(path).read_text())
+
+
+def chain(name: str, models: list[str]) -> PipelineSpec:
+    """Build a linear pipeline ``M1 -> M2 -> ... -> MN`` from model names."""
+    if not models:
+        raise ValueError("a chain needs at least one model")
+    ids = [f"m{i + 1}" for i in range(len(models))]
+    modules = [
+        ModuleSpec(
+            id=ids[i],
+            model=models[i],
+            pres=(ids[i - 1],) if i > 0 else (),
+            subs=(ids[i + 1],) if i + 1 < len(models) else (),
+        )
+        for i in range(len(models))
+    ]
+    return PipelineSpec(name=name, modules=modules)

@@ -1,0 +1,21 @@
+"""Serving policies: baselines and Table-1 ablations."""
+
+from .ablations import ABLATIONS, make_ablation
+from .base import DropContext, DropPolicy, FifoQueue, RequestQueue
+from .clipper import ClipperPlusPlusPolicy
+from .naive import NaivePolicy
+from .nexus import NexusPolicy
+from .overload_control import OverloadControlPolicy
+
+__all__ = [
+    "ABLATIONS",
+    "ClipperPlusPlusPolicy",
+    "DropContext",
+    "DropPolicy",
+    "FifoQueue",
+    "NaivePolicy",
+    "NexusPolicy",
+    "OverloadControlPolicy",
+    "RequestQueue",
+    "make_ablation",
+]

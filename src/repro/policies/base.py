@@ -1,0 +1,10 @@
+"""Compatibility re-export; the interfaces live in :mod:`repro.interfaces`.
+
+Keeping the canonical definitions in a top-level module (imported by both
+``repro.core`` and ``repro.simulation``) avoids a circular import through
+the ``repro.policies`` package initialiser.
+"""
+
+from ..interfaces import DropContext, DropPolicy, FifoQueue, RequestQueue
+
+__all__ = ["DropContext", "DropPolicy", "FifoQueue", "RequestQueue"]

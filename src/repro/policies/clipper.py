@@ -1,0 +1,48 @@
+"""Clipper++ baseline: per-module SLO split, drop-if-already-expired.
+
+Clipper (NSDI '17) serves single-model applications and drops a request
+only when it has *already* exceeded the latency objective before inference
+(the paper's "Lazy Drop", Figure 1a).  Following the paper's §5.1, we
+extend it to pipelines as Clipper++: the end-to-end SLO is divided across
+modules proportionally to profiled durations, ``SLO_k = SLO * d_k / sum d``,
+and a request is dropped at module k when its elapsed time at decision
+point already exceeds its cumulative budget through module k.
+"""
+
+from __future__ import annotations
+
+from ..simulation.batching import slo_split
+from ..simulation.request import DropReason
+from ..interfaces import DropContext, DropPolicy
+
+
+class ClipperPlusPlusPolicy(DropPolicy):
+    """Reactive lazy dropping with a fixed proportional SLO split."""
+
+    name = "Clipper++"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cum_budget: dict[str, float] = {}
+
+    def bind(self, cluster) -> None:
+        super().bind(cluster)
+        spec = cluster.spec
+        shares = slo_split(spec, cluster.registry, cluster.slo)
+        self._cum_budget = {}
+        for mid in spec.module_ids:
+            self._cum_budget[mid] = shares[mid] + self._best_upstream(mid, shares)
+
+    def _best_upstream(self, module_id: str, shares: dict[str, float]) -> float:
+        """Cumulative share of the longest upstream path (exclusive)."""
+        assert self.cluster is not None
+        preds = self.cluster.spec.predecessors(module_id)
+        if not preds:
+            return 0.0
+        return max(shares[p] + self._best_upstream(p, shares) for p in preds)
+
+    def should_drop(self, ctx: DropContext) -> DropReason | None:
+        budget = self._cum_budget[ctx.module.spec.id]
+        if ctx.now - ctx.request.sent_at > budget:
+            return DropReason.ALREADY_EXPIRED
+        return None

@@ -1,0 +1,19 @@
+"""Naive baseline: serve everything, never drop."""
+
+from __future__ import annotations
+
+from ..simulation.request import DropReason
+from ..interfaces import DropContext, DropPolicy
+
+
+class NaivePolicy(DropPolicy):
+    """No dropping at all — the paper's worst-goodput baseline.
+
+    Timed-out requests still consume GPU time at every module, creating the
+    queueing backpressure the paper's Figure 2 quantifies.
+    """
+
+    name = "Naive"
+
+    def should_drop(self, ctx: DropContext) -> DropReason | None:
+        return None

@@ -1,0 +1,15 @@
+"""Offline model profiling (pre-startup step)."""
+
+from .profiler import (
+    OfflineProfiler,
+    ProfileMeasurement,
+    SyntheticGpu,
+    profile_model,
+)
+
+__all__ = [
+    "OfflineProfiler",
+    "ProfileMeasurement",
+    "SyntheticGpu",
+    "profile_model",
+]

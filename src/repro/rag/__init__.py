@@ -1,0 +1,33 @@
+"""RAG workflow case study (paper §7)."""
+
+from .pipeline import (
+    AsyncStage,
+    BatchWindowStage,
+    RagConfig,
+    RagPipeline,
+    RagRequest,
+    RagStatus,
+    SlotStage,
+)
+from .policies import (
+    RAG_POLICIES,
+    PredictRagPolicy,
+    ProactiveRagPolicy,
+    RagPolicy,
+    ReactiveRagPolicy,
+)
+
+__all__ = [
+    "AsyncStage",
+    "BatchWindowStage",
+    "PredictRagPolicy",
+    "ProactiveRagPolicy",
+    "RAG_POLICIES",
+    "RagConfig",
+    "RagPipeline",
+    "RagPolicy",
+    "RagRequest",
+    "RagStatus",
+    "ReactiveRagPolicy",
+    "SlotStage",
+]

@@ -1,0 +1,362 @@
+"""RAG workflow simulator (paper §7, Table 2).
+
+Reproduces the case-study pipeline: ``rewrite -> {retrieve || search} ->
+generate`` with a time-to-first-token (TTFT) SLO.  The stages deliberately
+exhibit the §7 latency shapes that distinguish RAG from DNN pipelines:
+
+* **rewrite** (Llama-3-8B, continuous batching) — no batch wait; service
+  time scales with the *output* length, which is unknown upfront and highly
+  variable (lognormal).
+* **retrieve** (FAISS) — windowed batched execution, cheap and predictable.
+* **search** (web API, multithreaded) — unbounded concurrency but heavy
+  lognormal tail from network delays.
+* **generate** (Llama-3-8B, continuous batching) — TTFT ends at the end of
+  prefill, whose duration scales with the *input* length (query + rewrite
+  output + retrieved context), so it is predictable from observable state.
+
+The substitution preserves exactly the properties §7's conclusions rest on;
+see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..simulation.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .policies import RagPolicy
+
+
+class RagStatus(enum.Enum):
+    IN_FLIGHT = "in_flight"
+    COMPLETED = "completed"  # reached first token (may violate TTFT SLO)
+    DROPPED = "dropped"
+
+
+@dataclass
+class RagRequest:
+    """One query flowing through the RAG workflow."""
+
+    rid: int
+    sent_at: float
+    query_tokens: int
+    rewrite_tokens: int  # output length; hidden from non-oracle policies
+    context_tokens: int = 0  # retrieved context size
+    status: RagStatus = RagStatus.IN_FLIGHT
+    finished_at: float | None = None
+    dropped_at_stage: str | None = None
+    stage_times: dict[str, tuple[float, float]] = field(default_factory=dict)
+    _joins: int = 0
+
+    def elapsed(self, now: float) -> float:
+        return now - self.sent_at
+
+    def record_stage(self, stage: str, start: float, end: float) -> None:
+        self.stage_times[stage] = (start, end)
+
+    def stage_latency(self, stage: str) -> float:
+        start, end = self.stage_times[stage]
+        return end - start
+
+
+@dataclass(frozen=True)
+class RagConfig:
+    """Workload and latency-model parameters (defaults mirror Table 2)."""
+
+    ttft_slo: float = 5.0
+    # rewrite: Llama-3-8B continuous batching.
+    rewrite_slots: int = 16
+    rewrite_base: float = 0.08
+    rewrite_per_token: float = 0.025
+    rewrite_tokens_mu: float = 3.4  # lognormal of output length (~30 tokens)
+    rewrite_tokens_sigma: float = 0.9
+    # retrieve: FAISS windowed batching.
+    retrieve_window: float = 0.050
+    retrieve_base: float = 0.030
+    retrieve_per_item: float = 0.004
+    # search: long-tail web API.
+    search_median: float = 0.60
+    search_sigma: float = 0.85
+    # generate: prefill only (TTFT), continuous batching.
+    generate_slots: int = 16
+    generate_base: float = 0.06
+    generate_per_token: float = 0.0022
+    query_tokens_mean: int = 24
+    context_tokens_mean: int = 420
+
+
+class SlotStage:
+    """Continuous-batching stage: ``slots`` concurrent sequences, FIFO queue.
+
+    There is no batch wait (the §7 observation): a request either grabs a
+    free slot immediately or queues until one frees up.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        slots: int,
+        service_time: Callable[[RagRequest], float],
+        on_done: Callable[[RagRequest], None],
+        on_grant: Callable[[RagRequest, "SlotStage"], bool],
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.slots = slots
+        self.busy = 0
+        self.queue: list[RagRequest] = []
+        self.service_time = service_time
+        self.on_done = on_done
+        self.on_grant = on_grant
+        self.latencies: list[float] = []  # queue + service, for Figure 15b
+
+    def submit(self, request: RagRequest) -> None:
+        self.queue.append(request)
+        self._try_start()
+
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def _try_start(self) -> None:
+        while self.busy < self.slots and self.queue:
+            request = self.queue.pop(0)
+            if request.status is not RagStatus.IN_FLIGHT:
+                continue  # dropped while queued (sibling branch / policy)
+            if not self.on_grant(request, self):
+                continue  # the policy dropped it at slot grant
+            self.busy += 1
+            start = self.sim.now
+            duration = self.service_time(request)
+            self.sim.schedule_after(duration, self._finish, request, start)
+
+    def _finish(self, request: RagRequest, start: float) -> None:
+        self.busy -= 1
+        end = self.sim.now
+        request.record_stage(self.name, start, end)
+        self.latencies.append(end - start)
+        if request.status is RagStatus.IN_FLIGHT:
+            self.on_done(request)
+        self._try_start()
+
+
+class BatchWindowStage:
+    """Windowed batching stage (FAISS retrieve): collect for ``window``
+    seconds, then execute the whole batch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        window: float,
+        base: float,
+        per_item: float,
+        on_done: Callable[[RagRequest], None],
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.window = window
+        self.base = base
+        self.per_item = per_item
+        self.on_done = on_done
+        self.forming: list[RagRequest] = []
+        self.latencies: list[float] = []
+
+    def submit(self, request: RagRequest) -> None:
+        self.forming.append(request)
+        if len(self.forming) == 1:
+            self.sim.schedule_after(self.window, self._flush)
+
+    def _flush(self) -> None:
+        batch = [r for r in self.forming if r.status is RagStatus.IN_FLIGHT]
+        self.forming = []
+        if not batch:
+            return
+        start = self.sim.now
+        duration = self.base + self.per_item * len(batch)
+        self.sim.schedule_after(duration, self._finish, batch, start)
+
+    def _finish(self, batch: list[RagRequest], start: float) -> None:
+        end = self.sim.now
+        for request in batch:
+            request.record_stage(self.name, start, end)
+            self.latencies.append(end - start)
+            if request.status is RagStatus.IN_FLIGHT:
+                self.on_done(request)
+
+
+class AsyncStage:
+    """Unbounded-concurrency stage (web search over a thread pool)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency: Callable[[RagRequest], float],
+        on_done: Callable[[RagRequest], None],
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.on_done = on_done
+        self.latencies: list[float] = []
+
+    def submit(self, request: RagRequest) -> None:
+        start = self.sim.now
+        self.sim.schedule_after(self.latency(request), self._finish, request, start)
+
+    def _finish(self, request: RagRequest, start: float) -> None:
+        end = self.sim.now
+        request.record_stage(self.name, start, end)
+        self.latencies.append(end - start)
+        if request.status is RagStatus.IN_FLIGHT:
+            self.on_done(request)
+
+
+class RagPipeline:
+    """The §7 four-stage RAG workflow under a pluggable drop policy."""
+
+    STAGES = ("rewrite", "retrieve", "search", "generate")
+
+    def __init__(
+        self,
+        policy: "RagPolicy",
+        config: RagConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or RagConfig()
+        self.policy = policy
+        self.sim = Simulator()
+        self.rng = np.random.default_rng(seed)
+        self.requests: list[RagRequest] = []
+        self._next_rid = 0
+        c = self.config
+        self.rewrite = SlotStage(
+            self.sim, "rewrite", c.rewrite_slots,
+            self._rewrite_time, self._after_rewrite, self._grant,
+        )
+        self.retrieve = BatchWindowStage(
+            self.sim, "retrieve", c.retrieve_window, c.retrieve_base,
+            c.retrieve_per_item, self._after_branch,
+        )
+        self.search = AsyncStage(
+            self.sim, "search", self._search_time, self._after_branch
+        )
+        self.generate = SlotStage(
+            self.sim, "generate", c.generate_slots,
+            self._generate_time, self._after_generate, self._grant,
+        )
+        policy.bind(self)
+
+    # -- latency models ------------------------------------------------------
+
+    def _rewrite_time(self, r: RagRequest) -> float:
+        c = self.config
+        return c.rewrite_base + c.rewrite_per_token * r.rewrite_tokens
+
+    def _search_time(self, r: RagRequest) -> float:
+        c = self.config
+        return float(
+            self.rng.lognormal(np.log(c.search_median), c.search_sigma)
+        )
+
+    def _generate_time(self, r: RagRequest) -> float:
+        c = self.config
+        tokens = r.query_tokens + r.rewrite_tokens + r.context_tokens
+        return c.generate_base + c.generate_per_token * tokens
+
+    # -- request flow --------------------------------------------------------
+
+    def submit_at(self, t: float) -> None:
+        """Schedule a client query at simulation time ``t``."""
+        c = self.config
+        request = RagRequest(
+            rid=self._next_rid,
+            sent_at=t,
+            query_tokens=max(4, int(self.rng.normal(c.query_tokens_mean, 6))),
+            rewrite_tokens=max(
+                2, int(self.rng.lognormal(c.rewrite_tokens_mu, c.rewrite_tokens_sigma))
+            ),
+        )
+        self._next_rid += 1
+        self.requests.append(request)
+        self.sim.schedule(t, self._enter, request)
+
+    def _enter(self, request: RagRequest) -> None:
+        if self.policy.should_drop(request, "rewrite", self):
+            self._drop(request, "rewrite")
+            return
+        self.rewrite.submit(request)
+
+    def _grant(self, request: RagRequest, stage: SlotStage) -> bool:
+        """Slot-grant hook: last chance to drop before burning a slot."""
+        if self.policy.should_drop(request, stage.name, self):
+            self._drop(request, stage.name)
+            return False
+        return True
+
+    def _after_rewrite(self, request: RagRequest) -> None:
+        # Fan out to retrieve and search in parallel (DAG branch).
+        request._joins = 0
+        self.retrieve.submit(request)
+        self.search.submit(request)
+
+    def _after_branch(self, request: RagRequest) -> None:
+        request._joins += 1
+        if request._joins < 2:
+            return
+        request.context_tokens = max(
+            32, int(self.rng.normal(self.config.context_tokens_mean, 80))
+        )
+        if self.policy.should_drop(request, "generate", self):
+            self._drop(request, "generate")
+            return
+        self.generate.submit(request)
+
+    def _after_generate(self, request: RagRequest) -> None:
+        request.status = RagStatus.COMPLETED
+        request.finished_at = self.sim.now
+
+    def _drop(self, request: RagRequest, stage: str) -> None:
+        request.status = RagStatus.DROPPED
+        request.dropped_at_stage = stage
+        request.finished_at = self.sim.now
+
+    # -- run + metrics ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Run the simulation until every request reaches a terminal state."""
+        self.sim.run()
+
+    def drop_rate(self) -> float:
+        """Drops plus TTFT-SLO violations, over all requests (§7 metric)."""
+        if not self.requests:
+            return 0.0
+        bad = sum(1 for r in self.requests if not self._good(r))
+        return bad / len(self.requests)
+
+    def goodput_fraction(self) -> float:
+        return 1.0 - self.drop_rate()
+
+    def _good(self, r: RagRequest) -> bool:
+        return (
+            r.status is RagStatus.COMPLETED
+            and r.finished_at is not None
+            and r.finished_at - r.sent_at <= self.config.ttft_slo
+        )
+
+    def stage_latency_samples(self) -> dict[str, list[float]]:
+        """Per-stage latency distributions (Figure 15b)."""
+        return {
+            "rewrite": list(self.rewrite.latencies),
+            "retrieve": list(self.retrieve.latencies),
+            "search": list(self.search.latencies),
+            "generate": list(self.generate.latencies),
+        }

@@ -1,0 +1,142 @@
+"""Drop policies for the RAG case study (§7, Figure 15a).
+
+* ``reactive`` — drops a request only after it has already exceeded the
+  TTFT SLO (the baseline in Figure 15a).
+* ``proactive`` — PARD's idea adapted to RAG: estimate the remaining
+  latency per stage (recent averages for rewrite and search, windowed
+  batching for retrieve, prefill profiling from input length for
+  generate) and drop when elapsed + estimate exceeds the SLO.
+* ``predict`` — proactive plus *oracle* knowledge of the rewrite output
+  length (the paper obtains it from offline temperature-0 runs), removing
+  the dominant estimation error.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pipeline import RagPipeline, RagRequest
+
+
+class RagPolicy(abc.ABC):
+    """Base class: consulted at stage admission and slot grant."""
+
+    name = "base"
+
+    def bind(self, pipeline: "RagPipeline") -> None:
+        self.pipeline = pipeline
+
+    @abc.abstractmethod
+    def should_drop(
+        self, request: "RagRequest", stage: str, pipeline: "RagPipeline"
+    ) -> bool:
+        """True to drop ``request`` before it enters/occupies ``stage``."""
+
+
+class ReactiveRagPolicy(RagPolicy):
+    """Drop only after the TTFT SLO has already been violated."""
+
+    name = "reactive"
+
+    def should_drop(self, request, stage, pipeline) -> bool:
+        return request.elapsed(pipeline.sim.now) > pipeline.config.ttft_slo
+
+
+class ProactiveRagPolicy(RagPolicy):
+    """PARD-style proactive dropping with per-stage latency estimation."""
+
+    name = "proactive"
+    oracle_rewrite = False
+
+    def __init__(self, history: int = 200) -> None:
+        self._rewrite_hist: deque[float] = deque(maxlen=history)
+        self._search_hist: deque[float] = deque(maxlen=history)
+
+    def bind(self, pipeline: "RagPipeline") -> None:
+        super().bind(pipeline)
+        self._cfg = pipeline.config
+
+    # -- per-stage estimates ----------------------------------------------------
+
+    def _rewrite_estimate(self, request: "RagRequest", pipeline) -> float:
+        c = self._cfg
+        if self.oracle_rewrite:
+            service = c.rewrite_base + c.rewrite_per_token * request.rewrite_tokens
+        elif self._rewrite_hist:
+            service = float(np.mean(self._rewrite_hist))
+        else:
+            # Expected lognormal output length under the profiled model.
+            expected_tokens = float(
+                np.exp(c.rewrite_tokens_mu + c.rewrite_tokens_sigma**2 / 2)
+            )
+            service = c.rewrite_base + c.rewrite_per_token * expected_tokens
+        queue_penalty = (
+            pipeline.rewrite.queue_length() / pipeline.rewrite.slots
+        ) * service
+        return service + queue_penalty
+
+    def _branch_estimate(self, pipeline) -> float:
+        c = self._cfg
+        retrieve = c.retrieve_window / 2 + c.retrieve_base + c.retrieve_per_item * 8
+        if self._search_hist:
+            search = float(np.mean(self._search_hist))
+        else:
+            search = c.search_median
+        return max(retrieve, search)
+
+    def _generate_estimate(self, request: "RagRequest", pipeline) -> float:
+        c = self._cfg
+        tokens = request.query_tokens + request.rewrite_tokens
+        tokens += request.context_tokens or c.context_tokens_mean
+        service = c.generate_base + c.generate_per_token * tokens
+        queue_penalty = (
+            pipeline.generate.queue_length() / pipeline.generate.slots
+        ) * service
+        return service + queue_penalty
+
+    # -- decision ------------------------------------------------------------
+
+    def should_drop(self, request, stage, pipeline) -> bool:
+        self._observe(pipeline)
+        now = pipeline.sim.now
+        remaining: float
+        if stage == "rewrite":
+            remaining = (
+                self._rewrite_estimate(request, pipeline)
+                + self._branch_estimate(pipeline)
+                + self._generate_estimate(request, pipeline)
+            )
+        elif stage == "generate":
+            remaining = self._generate_estimate(request, pipeline)
+        else:
+            remaining = self._branch_estimate(pipeline)
+        return request.elapsed(now) + remaining > pipeline.config.ttft_slo
+
+    def _observe(self, pipeline) -> None:
+        """Fold freshly completed stage latencies into the histories."""
+        for hist, stage in (
+            (self._rewrite_hist, pipeline.rewrite),
+            (self._search_hist, pipeline.search),
+        ):
+            new = len(stage.latencies) - len(hist)
+            if new > 0:
+                hist.extend(stage.latencies[-new:])
+
+
+class PredictRagPolicy(ProactiveRagPolicy):
+    """Proactive with oracle rewrite-output-length knowledge."""
+
+    name = "predict"
+    oracle_rewrite = True
+
+
+RAG_POLICIES = {
+    "reactive": ReactiveRagPolicy,
+    "proactive": ProactiveRagPolicy,
+    "predict": PredictRagPolicy,
+}

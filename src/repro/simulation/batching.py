@@ -1,0 +1,79 @@
+"""Dynamic batching plan.
+
+Following Nexus-style batching (which the paper adopts, §5.1), each module
+gets a *target* batch size derived from offline profiles: the end-to-end SLO
+is split across modules proportionally to their single-request durations,
+and the largest batch whose execution fits a fraction of that share is
+chosen — leaving the remaining fraction as headroom for queueing and batch
+wait.  Workers then batch *up to* the target; under light load batches are
+smaller because the GPU never idles waiting for work.
+"""
+
+from __future__ import annotations
+
+from ..pipeline.profiles import ModelProfile, ProfileRegistry
+from ..pipeline.spec import PipelineSpec
+
+
+def slo_split(
+    spec: PipelineSpec, registry: ProfileRegistry, slo: float
+) -> dict[str, float]:
+    """Split ``slo`` across modules proportionally to ``duration(1)``.
+
+    This is the split Clipper++ uses (``SLO_k = SLO * d_k / sum d_i``) and
+    the base for planning target batch sizes.
+    """
+    d1 = {m.id: registry.get(m.model).duration(1) for m in spec.modules}
+    total = sum(d1.values())
+    return {mid: slo * d / total for mid, d in d1.items()}
+
+
+def plan_batch_sizes(
+    spec: PipelineSpec,
+    registry: ProfileRegistry,
+    slo: float,
+    execution_fraction: float = 0.5,
+) -> dict[str, int]:
+    """Target batch size per module.
+
+    ``execution_fraction`` is the share of each module's SLO split spent on
+    execution; the rest is headroom for queueing delay and batch wait.  A
+    module whose single-request duration already exceeds its budget gets
+    batch size 1 (it will simply violate SLOs under load — exactly the
+    regime where dropping policies matter).
+    """
+    if not 0 < execution_fraction <= 1:
+        raise ValueError("execution_fraction must be in (0, 1]")
+    shares = slo_split(spec, registry, slo)
+    plan: dict[str, int] = {}
+    for m in spec.modules:
+        profile = registry.get(m.model)
+        budget = shares[m.id] * execution_fraction
+        plan[m.id] = max(1, profile.feasible_batch(budget))
+    return plan
+
+
+def module_throughput(profile: ModelProfile, batch_size: int, workers: int) -> float:
+    """Aggregate requests/second for ``workers`` workers at ``batch_size``."""
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    return workers * profile.throughput(batch_size)
+
+
+def provision_workers(
+    spec: PipelineSpec,
+    registry: ProfileRegistry,
+    batch_plan: dict[str, int],
+    rate: float,
+    headroom: float = 1.0,
+) -> dict[str, int]:
+    """Workers per module needed to sustain ``rate`` requests/second."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    out: dict[str, int] = {}
+    for m in spec.modules:
+        profile = registry.get(m.model)
+        per_worker = profile.throughput(batch_plan[m.id])
+        need = rate * headroom / per_worker
+        out[m.id] = max(1, int(need) + (0 if need == int(need) else 1))
+    return out

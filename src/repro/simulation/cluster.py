@@ -1,0 +1,230 @@
+"""Cluster: wires a pipeline spec into modules and routes requests.
+
+Handles the full request lifecycle across the DAG: entry dispatch, hop-by-hop
+forwarding, fork (a module with several successors sends the request to all
+of them), join (a module with several predecessors waits for every branch),
+drops (including DAG sibling invalidation) and completion.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..metrics.collector import MetricsCollector
+from ..pipeline.applications import Application
+from ..pipeline.profiles import DEFAULT_PROFILES, ProfileRegistry
+from ..interfaces import DropPolicy
+from .batching import plan_batch_sizes
+from .engine import Simulator
+from .module import Module
+from .request import DropReason, Request, RequestStatus
+from .rng import RngStreams
+from .routing import PathRouter, StaticRouter
+
+
+class Cluster:
+    """A simulated serving cluster for one pipeline application."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: Application,
+        policy: DropPolicy,
+        workers: int | dict[str, int],
+        registry: ProfileRegistry | None = None,
+        batch_plan: dict[str, int] | None = None,
+        metrics: MetricsCollector | None = None,
+        rng: RngStreams | None = None,
+        sync_interval: float = 1.0,
+        stats_window: float = 5.0,
+        router: PathRouter | None = None,
+        hop_delay: float = 0.0,
+    ) -> None:
+        if hop_delay < 0:
+            raise ValueError("hop_delay must be >= 0")
+        self.sim = sim
+        self.app = app
+        self.spec = app.spec
+        self.slo = app.slo
+        self.policy = policy
+        self.registry = registry or DEFAULT_PROFILES
+        self.metrics = metrics or MetricsCollector()
+        self.rng = rng or RngStreams(seed=0)
+        self.sync_interval = sync_interval
+        self.router = router or StaticRouter()
+        self.hop_delay = hop_delay
+
+        entries = self.spec.entry_ids
+        if len(entries) != 1:
+            raise ValueError(
+                f"pipeline {self.spec.name!r} must have exactly one entry module"
+            )
+        self.entry_id = entries[0]
+
+        plan = batch_plan or plan_batch_sizes(self.spec, self.registry, self.slo)
+        self.modules: dict[str, Module] = {}
+        for mspec in self.spec.modules:
+            if isinstance(workers, dict):
+                n = workers[mspec.id]
+            else:
+                n = workers
+            self.modules[mspec.id] = Module(
+                cluster=self,
+                spec=mspec,
+                profile=self.registry.get(mspec.model),
+                target_batch=plan[mspec.id],
+                n_workers=n,
+                stats_window=stats_window,
+            )
+
+        # Join bookkeeping for DAG pipelines: request id -> module id -> count
+        # of branch deliveries received so far.  ``_join_needed`` overrides
+        # the default in-degree requirement for requests routed down a
+        # subset of branches (dynamic paths).
+        self._join_counts: dict[int, dict[str, int]] = defaultdict(dict)
+        self._join_needed: dict[int, dict[str, int]] = defaultdict(dict)
+        # Observed branch choices at forks: (module, successor) -> count.
+        # Feeds the request-path prediction extension (§5.2 future work).
+        self.branch_counts: dict[tuple[str, str], int] = defaultdict(int)
+        self._tick_started = False
+        self._tick_handle = None
+        self._periodics: list = []  # controllers with a stop() method
+
+        self.policy.bind(self)
+
+    # -- periodic control plane ----------------------------------------------
+
+    def start_ticks(self) -> None:
+        """Begin the periodic state-synchronisation loop (idempotent)."""
+        if self._tick_started:
+            return
+        self._tick_started = True
+        self._tick_handle = self.sim.schedule_after(self.sync_interval, self._tick)
+
+    def _tick(self) -> None:
+        self.policy.on_tick(self.sim.now)
+        self._tick_handle = self.sim.schedule_after(self.sync_interval, self._tick)
+
+    def register_periodic(self, controller) -> None:
+        """Track a periodic controller (e.g. a scaler) to stop at drain."""
+        self._periodics.append(controller)
+
+    def stop_ticks(self) -> None:
+        """Cancel periodic ticks so the event queue can drain."""
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        self._tick_started = False
+        for controller in self._periodics:
+            controller.stop()
+
+    # -- request lifecycle -----------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Inject a client request at the pipeline entry."""
+        self.metrics.record_submitted()
+        self.modules[self.entry_id].receive(request)
+
+    def submit_at(self, t: float, slo: float | None = None) -> Request:
+        """Schedule a request to be sent at simulation time ``t``."""
+        request = Request(sent_at=t, slo=self.slo if slo is None else slo)
+        self.sim.schedule(t, self.submit, request)
+        return request
+
+    def on_module_done(self, request: Request, module: Module) -> None:
+        """A worker finished executing ``request`` at ``module``."""
+        if request.status is RequestStatus.DROPPED:
+            # A sibling DAG branch dropped the request while this branch was
+            # executing; the GPU time is already attributed and will count
+            # as invalid.  Do not forward further.
+            return
+        subs = self.spec.successors(module.spec.id)
+        if not subs:
+            request.mark_completed(self.sim.now)
+            self._forget(request)
+            self.metrics.record_request(request)
+            return
+        chosen = subs
+        if len(subs) > 1:
+            chosen = tuple(self.router.select(request, module, subs))
+            for s in chosen:
+                self.branch_counts[(module.spec.id, s)] += 1
+            self._record_branch_choice(request, chosen)
+        for sub in chosen:
+            self._deliver(request, sub)
+
+    def _record_branch_choice(
+        self, request: Request, chosen: tuple[str, ...]
+    ) -> None:
+        """Adjust join requirements for a request routed down a subset.
+
+        For every join module reachable from the chosen branches, the
+        number of arrivals to wait for equals the number of chosen branches
+        whose paths lead there (the static router reproduces the default
+        in-degree requirement).
+        """
+        spec = self.spec
+        needed = self._join_needed[request.rid]
+        for mid in spec.module_ids:
+            if len(spec.predecessors(mid)) <= 1:
+                continue
+            cnt = sum(
+                1
+                for s in chosen
+                if s == mid or mid in spec.downstream(s)
+            )
+            if cnt > 0:
+                needed[mid] = cnt
+
+    def _deliver(self, request: Request, module_id: str) -> None:
+        """Deliver to a successor, honouring join semantics at merges."""
+        preds = self.spec.predecessors(module_id)
+        if len(preds) > 1:
+            counts = self._join_counts[request.rid]
+            counts[module_id] = counts.get(module_id, 0) + 1
+            needed = self._join_needed.get(request.rid, {}).get(
+                module_id, len(preds)
+            )
+            if counts[module_id] < needed:
+                return  # wait for the remaining branches
+            del counts[module_id]
+        if self.hop_delay > 0:
+            self.sim.schedule_after(
+                self.hop_delay, self.modules[module_id].receive, request
+            )
+        else:
+            self.modules[module_id].receive(request)
+
+    def drop(self, request: Request, module_id: str, reason: DropReason) -> None:
+        """Drop a request at ``module_id`` (idempotent for DAG siblings)."""
+        if request.status is RequestStatus.DROPPED:
+            return
+        request.mark_dropped(module_id, reason, self.sim.now)
+        self._forget(request)
+        self.metrics.record_request(request)
+
+    def _forget(self, request: Request) -> None:
+        self._join_counts.pop(request.rid, None)
+        self._join_needed.pop(request.rid, None)
+
+    def branch_probability(self, module_id: str, successor: str) -> float:
+        """Observed probability that a request at a fork takes ``successor``.
+
+        Laplace-smoothed over the fork's successors; 1.0 for non-forks.
+        Used by the path-prediction extension of the State Planner.
+        """
+        subs = self.spec.successors(module_id)
+        if len(subs) <= 1:
+            return 1.0
+        counts = {s: self.branch_counts.get((module_id, s), 0) for s in subs}
+        total = sum(counts.values()) + len(subs)
+        return (counts.get(successor, 0) + 1) / total
+
+    # -- introspection -----------------------------------------------------
+
+    def module_list(self) -> list[Module]:
+        """Modules in declaration order (M1..MN for chains)."""
+        return [self.modules[mid] for mid in self.spec.module_ids]
+
+    def total_queue_length(self) -> int:
+        return sum(m.queue_length() for m in self.modules.values())

@@ -1,0 +1,102 @@
+"""Worker failure injection.
+
+The paper motivates dropping with "unpredictable events such as workload
+bursts or machine failure" (§1, §2): a failed machine removes capacity
+instantly while replacement capacity pays a cold start.  The injector
+schedules worker failures and recoveries on a cluster and re-dispatches
+any requests stranded in a failed worker's queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import Cluster
+from .request import RequestStatus
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected failure: a module loses ``workers`` for ``downtime``."""
+
+    time: float
+    module_id: str
+    workers: int = 1
+    downtime: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("must fail at least one worker")
+        if self.downtime <= 0:
+            raise ValueError("downtime must be > 0")
+
+
+@dataclass
+class FailureInjector:
+    """Applies a schedule of :class:`FailureEvent` to a cluster."""
+
+    cluster: Cluster
+    events: list[FailureEvent] = field(default_factory=list)
+    log: list[str] = field(default_factory=list)
+
+    def schedule_all(self) -> None:
+        """Arm every failure event on the cluster's simulator."""
+        for event in self.events:
+            self.cluster.sim.schedule(event.time, self._fail, event)
+
+    def _fail(self, event: FailureEvent) -> None:
+        module = self.cluster.modules[event.module_id]
+        killed = 0
+        for _ in range(event.workers):
+            if module.n_workers <= 1 and killed == 0 and event.workers >= 1:
+                # Allow taking the last worker down: the module is dead
+                # until recovery, which is exactly what a machine failure
+                # does.  Requests queue at the module dispatcher level.
+                pass
+            if module.n_workers == 0:
+                break
+            worker = module.workers.pop()
+            killed += 1
+            self._strand(worker)
+        self.log.append(
+            f"t={self.cluster.sim.now:.2f}s fail {event.module_id} "
+            f"-{killed} worker(s)"
+        )
+        self.cluster.sim.schedule_after(
+            event.downtime, self._recover, event.module_id, killed
+        )
+
+    def _strand(self, worker) -> None:
+        """Re-dispatch a failed worker's queued and forming requests."""
+        module = worker.module
+        stranded = worker.queue.drain(self.cluster.sim.now)
+        stranded.extend(worker.forming)
+        worker.forming = []
+        # In-flight batch work is lost with the machine; those requests
+        # are re-dispatched too (their GPU time so far still counts).
+        if worker.executing is not None:
+            worker.executing.aborted = True  # its completion event is void
+            stranded.extend(worker.executing.requests)
+            worker.executing = None
+        for request in stranded:
+            if request.status is not RequestStatus.IN_FLIGHT:
+                continue
+            visit = request.visits.get(module.spec.id)
+            if visit is not None:
+                # Reset execution bookkeeping for the retry.
+                visit.t_batched = None
+                visit.t_exec_start = None
+                visit.t_exec_end = None
+            if module.workers:
+                module.dispatcher.pick(module.workers).enqueue(request)
+            else:
+                module.park(request)  # total outage: replay on recovery
+
+    def _recover(self, module_id: str, workers: int) -> None:
+        module = self.cluster.modules[module_id]
+        for _ in range(workers):
+            module.add_worker()
+        self.log.append(
+            f"t={self.cluster.sim.now:.2f}s recover {module_id} "
+            f"+{workers} worker(s)"
+        )

@@ -1,0 +1,88 @@
+"""Path selection for DAG pipelines.
+
+Static DAG pipelines fan a request out to *every* successor at a fork and
+merge at joins.  Recent pipelines (paper §5.2, "request-specific dynamic
+paths") instead choose a branch per request based on intermediate results —
+e.g. the adapted ``da`` application sends each request down either the pose
+branch or the face branch, probabilistically.  This module provides the
+router seam the cluster uses at every fork.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .module import Module
+
+
+class PathRouter(abc.ABC):
+    """Chooses which successors a request is forwarded to at a fork."""
+
+    @abc.abstractmethod
+    def select(
+        self, request: Request, module: "Module", subs: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """Non-empty subset of ``subs`` the request should take."""
+
+
+class StaticRouter(PathRouter):
+    """Default fan-out-to-all semantics (the paper's static DAG)."""
+
+    def select(self, request, module, subs):
+        return subs
+
+
+class ProbabilisticRouter(PathRouter):
+    """Pick exactly one successor per request, with given weights.
+
+    Models the paper's dynamic-path variant of ``da`` where each request
+    probabilistically takes either the pose or the face branch.
+    """
+
+    def __init__(
+        self,
+        weights: dict[str, float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.weights = weights
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, request, module, subs):
+        if len(subs) <= 1:
+            return subs
+        if self.weights:
+            w = np.array([self.weights.get(s, 1.0) for s in subs], dtype=float)
+        else:
+            w = np.ones(len(subs))
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("path weights must sum to a positive value")
+        idx = self._rng.choice(len(subs), p=w / total)
+        return (subs[idx],)
+
+
+class ResultDependentRouter(PathRouter):
+    """Route by a caller-supplied function of the request.
+
+    The hook receives the request and the candidate successors and returns
+    the chosen subset — the general form of content-dependent routing
+    (e.g. "only run face recognition when a face was detected").
+    """
+
+    def __init__(self, chooser) -> None:
+        self._chooser = chooser
+
+    def select(self, request, module, subs):
+        chosen = tuple(self._chooser(request, subs))
+        if not chosen:
+            raise ValueError("router must choose at least one successor")
+        unknown = set(chosen) - set(subs)
+        if unknown:
+            raise ValueError(f"router chose non-successor modules {unknown}")
+        return chosen

@@ -1,0 +1,120 @@
+"""Reactive resource scaling with cold starts.
+
+The paper (§2, §5.1) notes that systems scale workers with the request rate,
+but cold starts mean capacity cannot appear instantly during bursts — which
+is precisely when request dropping becomes necessary.  This engine
+reproduces that dynamic: scale-out decisions take ``cold_start`` seconds to
+materialise; scale-in only removes idle workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .cluster import Cluster
+
+
+@dataclass
+class ScalingEvent:
+    """One scaling action, recorded for analysis."""
+
+    time: float
+    module_id: str
+    kind: str  # "scale_out_requested" | "scale_out_done" | "scale_in"
+    workers_after: int
+
+
+@dataclass
+class ReactiveScaler:
+    """Adjusts workers per module from the measured input rate.
+
+    Desired workers = ceil(rate * headroom / per-worker throughput), clamped
+    to [min_workers, max_workers].  Scale-out requests become live workers
+    only after ``cold_start`` seconds.
+    """
+
+    cluster: Cluster
+    interval: float = 2.0
+    cold_start: float = 8.0
+    headroom: float = 1.1
+    min_workers: int = 1
+    max_workers: int = 16
+    scale_in_patience: int = 4  # consecutive low ticks before scaling in
+    graceful_scale_in: bool = False  # drain busy workers instead of waiting
+    events: list[ScalingEvent] = field(default_factory=list)
+    _pending: dict[str, int] = field(default_factory=dict)
+    _low_ticks: dict[str, int] = field(default_factory=dict)
+    _started: bool = False
+    _stopped: bool = False
+
+    def start(self) -> None:
+        """Begin the periodic scaling loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.cluster.register_periodic(self)
+        self.cluster.sim.schedule_after(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop rescheduling ticks (lets the event queue drain)."""
+        self._stopped = True
+
+    def _desired(self, module_id: str, now: float) -> int:
+        module = self.cluster.modules[module_id]
+        per_worker = module.profile.throughput(module.target_batch)
+        rate = module.stats.input_rate(now)
+        want = math.ceil(rate * self.headroom / per_worker) if rate > 0 else 0
+        return max(self.min_workers, min(self.max_workers, want))
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self.cluster.sim.now
+        for module_id, module in self.cluster.modules.items():
+            desired = self._desired(module_id, now)
+            pending = self._pending.get(module_id, 0)
+            have = module.n_workers + pending
+            if desired > have:
+                self._low_ticks[module_id] = 0
+                for _ in range(desired - have):
+                    self._pending[module_id] = self._pending.get(module_id, 0) + 1
+                    self.events.append(
+                        ScalingEvent(now, module_id, "scale_out_requested", have)
+                    )
+                    self.cluster.sim.schedule_after(
+                        self.cold_start, self._finish_scale_out, module_id
+                    )
+            elif desired < module.n_workers:
+                # Scale in only after sustained low demand — eager scale-in
+                # followed by a burst pays the cold start twice.
+                low = self._low_ticks.get(module_id, 0) + 1
+                self._low_ticks[module_id] = low
+                if low >= self.scale_in_patience:
+                    shrunk = (
+                        module.drain_worker()
+                        if self.graceful_scale_in
+                        else module.remove_worker()
+                    )
+                    if shrunk:
+                        self.events.append(
+                            ScalingEvent(now, module_id, "scale_in", module.n_workers)
+                        )
+                    self._low_ticks[module_id] = 0
+            else:
+                self._low_ticks[module_id] = 0
+        self.cluster.sim.schedule_after(self.interval, self._tick)
+
+    def _finish_scale_out(self, module_id: str) -> None:
+        module = self.cluster.modules[module_id]
+        self._pending[module_id] = max(0, self._pending.get(module_id, 0) - 1)
+        if module.n_workers < self.max_workers:
+            module.add_worker()
+            self.events.append(
+                ScalingEvent(
+                    self.cluster.sim.now,
+                    module_id,
+                    "scale_out_done",
+                    module.n_workers,
+                )
+            )

@@ -1,0 +1,133 @@
+"""Sliding-window runtime statistics.
+
+Each module's controller monitors queueing delay, arrival rate and batch
+sizes over a sliding window (the paper's default: a 5-second linearly
+weighted window) and exposes them to the State Planner and to the adaptive
+priority mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class WindowedSamples:
+    """Timestamped samples with linear-decay weighted averaging.
+
+    A sample of age ``a`` within window ``w`` gets weight ``1 - a / w``;
+    samples older than the window are evicted.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be > 0")
+        self.window = window
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def record(self, t: float, value: float) -> None:
+        self._samples.append((t, value))
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        dq = self._samples
+        while dq and dq[0][0] < cutoff:
+            dq.popleft()
+
+    def weighted_average(self, now: float, default: float = 0.0) -> float:
+        """Linearly weighted average of samples within the window."""
+        self._evict(now)
+        num = 0.0
+        den = 0.0
+        for t, v in self._samples:
+            wgt = 1.0 - (now - t) / self.window
+            if wgt <= 0.0:
+                continue
+            num += wgt * v
+            den += wgt
+        return num / den if den > 0 else default
+
+    def mean(self, now: float, default: float = 0.0) -> float:
+        """Unweighted mean of samples within the window."""
+        self._evict(now)
+        if not self._samples:
+            return default
+        return sum(v for _, v in self._samples) / len(self._samples)
+
+    def values(self, now: float) -> list[float]:
+        """Samples currently inside the window (oldest first)."""
+        self._evict(now)
+        return [v for _, v in self._samples]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class RateMeter:
+    """Event-rate estimator over a sliding window of event timestamps."""
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be > 0")
+        self.window = window
+        self._events: deque[float] = deque()
+        self.total = 0
+
+    def record(self, t: float) -> None:
+        self._events.append(t)
+        self.total += 1
+
+    def rate(self, now: float) -> float:
+        """Events per second over the trailing window."""
+        cutoff = now - self.window
+        dq = self._events
+        while dq and dq[0] < cutoff:
+            dq.popleft()
+        span = min(self.window, now) if now > 0 else self.window
+        if span <= 0:
+            return 0.0
+        return len(dq) / span
+
+
+class ModuleStats:
+    """Runtime state of one module, as monitored by its controller."""
+
+    def __init__(self, window: float = 5.0) -> None:
+        self.window = window
+        self.queue_delays = WindowedSamples(window)
+        self.batch_waits = WindowedSamples(window)
+        self.batch_sizes = WindowedSamples(window)
+        self.arrivals = RateMeter(window)
+        self.drops = 0
+        self.executed = 0
+
+    def record_arrival(self, t: float) -> None:
+        self.arrivals.record(t)
+
+    def record_queue_delay(self, t: float, delay: float) -> None:
+        self.queue_delays.record(t, delay)
+
+    def record_batch_wait(self, t: float, wait: float) -> None:
+        self.batch_waits.record(t, wait)
+
+    def record_batch(self, t: float, size: int) -> None:
+        self.batch_sizes.record(t, float(size))
+        self.executed += size
+
+    def record_drop(self) -> None:
+        self.drops += 1
+
+    def avg_queue_delay(self, now: float) -> float:
+        """Recent average queueing delay q_k (linearly weighted)."""
+        return self.queue_delays.weighted_average(now, default=0.0)
+
+    def input_rate(self, now: float) -> float:
+        """T_in: measured input workload (requests/second)."""
+        return self.arrivals.rate(now)
+
+    def avg_batch_size(self, now: float, default: float) -> float:
+        """Recently observed average executed batch size."""
+        return self.batch_sizes.weighted_average(now, default=default)
+
+    def recent_batch_waits(self, now: float) -> list[float]:
+        """Observed batch-wait samples inside the window (for the PDF)."""
+        return self.batch_waits.values(now)

@@ -1,0 +1,172 @@
+"""Worker: one GPU serving one module's model with dynamic batching.
+
+The batching mechanics follow Figure 3b of the paper: a worker collects the
+next batch *while* the previous batch executes (never letting the GPU idle),
+so a request drawn into the forming batch at ``t_b`` waits ``W = t_e - t_b``
+until the expected start ``t_e`` (= the end of the executing batch).  The
+drop decision for each request is made exactly once, at ``t_b``, via the
+bound policy — at that moment all bi-directional runtime information is
+available (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..simulation.request import Request, RequestStatus
+from ..interfaces import DropContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .module import Module
+
+
+@dataclass
+class Batch:
+    """A batch executing on the GPU."""
+
+    requests: list[Request]
+    start: float
+    end: float
+    aborted: bool = False  # set when the worker dies mid-execution
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class WorkerTelemetry:
+    """Counters exposed for tests and overhead analysis."""
+
+    batches: int = 0
+    executed_requests: int = 0
+    dropped_requests: int = 0
+    skipped_cancelled: int = 0
+    busy_time: float = 0.0
+
+
+class Worker:
+    """One GPU container executing batches for a single module."""
+
+    def __init__(self, module: "Module", worker_id: int) -> None:
+        self.module = module
+        self.worker_id = worker_id
+        self.sim = module.sim
+        self.queue = module.policy.make_queue(module)
+        self.forming: list[Request] = []
+        self.executing: Batch | None = None
+        self.draining = False
+        self.telemetry = WorkerTelemetry()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Outstanding work (used by the least-loaded dispatcher)."""
+        exec_count = self.executing.size if self.executing else 0
+        return len(self.queue) + len(self.forming) + exec_count
+
+    @property
+    def idle(self) -> bool:
+        return (
+            self.executing is None
+            and not self.forming
+            and len(self.queue) == 0
+        )
+
+    @property
+    def expected_start(self) -> float:
+        """t_e: when the batch currently being formed will start executing."""
+        return self.executing.end if self.executing else self.sim.now
+
+    # -- request flow -------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        """Accept a dispatched request and try to advance batching."""
+        self.queue.push(request, self.sim.now)
+        self._draw()
+
+    def _draw(self) -> None:
+        """Pull requests from the queue into the forming batch.
+
+        Each drawn request gets its drop decision here (t_b), with the
+        expected batch start t_e known.  Respects the module's target batch
+        size as the forming capacity.
+        """
+        now = self.sim.now
+        module = self.module
+        target = module.target_batch
+        while len(self.forming) < target:
+            request = self.queue.pop(now)
+            if request is None:
+                break
+            if request.status is not RequestStatus.IN_FLIGHT:
+                # A sibling DAG branch already dropped this request; skip it
+                # without spending GPU time (its earlier work is already
+                # accounted as invalid).
+                self.telemetry.skipped_cancelled += 1
+                continue
+            t_e = self.expected_start
+            ctx = DropContext(
+                request=request,
+                module=module,
+                worker=self,
+                now=now,
+                expected_start=t_e,
+                batch_duration=module.effective_duration(now),
+                slo=module.cluster.slo,
+            )
+            reason = module.policy.should_drop(ctx)
+            visit = request.visit(module.spec.id)
+            visit.t_batched = now
+            visit.worker_id = self.worker_id
+            module.stats.record_queue_delay(now, now - visit.t_received)
+            if reason is not None:
+                self.telemetry.dropped_requests += 1
+                module.stats.record_drop()
+                module.cluster.drop(request, module.spec.id, reason)
+                continue
+            module.stats.record_batch_wait(now, max(0.0, t_e - now))
+            self.forming.append(request)
+        if self.executing is None and self.forming:
+            self._start_batch()
+
+    def _start_batch(self) -> None:
+        """Begin executing the forming batch on the GPU."""
+        now = self.sim.now
+        requests = self.forming
+        self.forming = []
+        size = len(requests)
+        duration = self.module.profile.duration(size)
+        share = duration / size
+        for r in requests:
+            v = r.visit(self.module.spec.id)
+            v.t_exec_start = now
+            v.t_exec_end = now + duration
+            v.batch_size = size
+            v.gpu_time = share
+        batch = Batch(requests=requests, start=now, end=now + duration)
+        self.executing = batch
+        self.telemetry.batches += 1
+        self.telemetry.executed_requests += size
+        self.telemetry.busy_time += duration
+        self.module.stats.record_batch(now, size)
+        self.sim.schedule(batch.end, self._finish_batch, batch)
+        # Immediately begin forming the next batch (Figure 3b: collection
+        # starts right after the previous batch begins execution).
+        self._draw()
+
+    def _finish_batch(self, batch: Batch) -> None:
+        """Batch execution completed: forward requests, start next batch."""
+        if batch.aborted:
+            return  # the worker died mid-execution (failure injection)
+        self.executing = None
+        for request in batch.requests:
+            self.module.cluster.on_module_done(request, self.module)
+        if self.forming:
+            self._start_batch()
+        else:
+            self._draw()
+        if self.draining and self.idle:
+            self.module.reap(self)

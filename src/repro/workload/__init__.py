@@ -1,0 +1,34 @@
+"""Workload traces and generators."""
+
+from .generators import (
+    TRACES,
+    arrivals_from_rate,
+    azure_trace,
+    constant_trace,
+    get_trace,
+    poisson_trace,
+    step_trace,
+    tweet_trace,
+    wiki_trace,
+)
+from .io import load_trace_csv, load_trace_json, save_trace_csv, save_trace_json
+from .replay import replay
+from .trace import Trace
+
+__all__ = [
+    "TRACES",
+    "Trace",
+    "arrivals_from_rate",
+    "azure_trace",
+    "constant_trace",
+    "get_trace",
+    "load_trace_csv",
+    "load_trace_json",
+    "save_trace_csv",
+    "save_trace_json",
+    "poisson_trace",
+    "replay",
+    "step_trace",
+    "tweet_trace",
+    "wiki_trace",
+]

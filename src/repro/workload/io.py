@@ -1,0 +1,77 @@
+"""Trace persistence: save/load traces as CSV or JSON.
+
+Lets users replay their own production arrival logs through the simulator
+(one timestamp per request), and ship reproducible trace files alongside
+experiment results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .trace import Trace
+
+
+def save_trace_csv(trace: Trace, path: str | Path) -> None:
+    """Write one arrival timestamp per line, with a comment header."""
+    p = Path(path)
+    lines = [f"# trace={trace.name} duration={float(trace.duration)!r}"]
+    lines.extend(repr(float(t)) for t in trace.arrivals)
+    p.write_text("\n".join(lines) + "\n")
+
+
+def load_trace_csv(path: str | Path, name: str | None = None,
+                   duration: float | None = None) -> Trace:
+    """Read a CSV trace written by :func:`save_trace_csv` (or any file with
+    one timestamp per line; ``#`` lines are ignored)."""
+    p = Path(path)
+    header_duration: float | None = None
+    header_name: str | None = None
+    arrivals: list[float] = []
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            for token in line[1:].split():
+                if token.startswith("duration="):
+                    header_duration = float(token.split("=", 1)[1])
+                elif token.startswith("trace="):
+                    header_name = token.split("=", 1)[1]
+            continue
+        arrivals.append(float(line))
+    arr = np.asarray(sorted(arrivals))
+    final_duration = duration or header_duration
+    if final_duration is None:
+        final_duration = float(arr[-1]) + 1e-9 if arr.size else 0.0
+    return Trace(
+        name=name or header_name or p.stem,
+        arrivals=arr,
+        duration=final_duration,
+    )
+
+
+def save_trace_json(trace: Trace, path: str | Path) -> None:
+    """Write the trace as a self-describing JSON document."""
+    Path(path).write_text(
+        json.dumps(
+            {
+                "name": trace.name,
+                "duration": trace.duration,
+                "arrivals": trace.arrivals.tolist(),
+            }
+        )
+    )
+
+
+def load_trace_json(path: str | Path) -> Trace:
+    """Read a JSON trace written by :func:`save_trace_json`."""
+    data = json.loads(Path(path).read_text())
+    return Trace(
+        name=str(data["name"]),
+        arrivals=np.asarray(data["arrivals"], dtype=float),
+        duration=float(data["duration"]),
+    )

@@ -1,0 +1,25 @@
+"""Replay a trace into a cluster."""
+
+from __future__ import annotations
+
+from ..simulation.cluster import Cluster
+from .trace import Trace
+
+
+def replay(trace: Trace, cluster: Cluster, drain: float = 5.0) -> None:
+    """Schedule every trace arrival on the cluster and run to completion.
+
+    The simulation runs with control-plane ticks until
+    ``trace.duration + drain``; the ticks are then cancelled and the event
+    queue drained so every in-flight request reaches a terminal state and
+    is accounted in the metrics (backlogged queues under the Naive policy
+    can far outlive the trace).
+    """
+    if drain < 0:
+        raise ValueError("drain must be >= 0")
+    for t in trace.arrivals:
+        cluster.submit_at(float(t))
+    cluster.start_ticks()
+    cluster.sim.run(until=trace.duration + drain)
+    cluster.stop_ticks()
+    cluster.sim.run()

@@ -1,0 +1,76 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.pipeline.applications import Application
+from repro.pipeline.profiles import ModelProfile, ProfileRegistry
+from repro.pipeline.spec import ModuleSpec, PipelineSpec, chain
+from repro.interfaces import DropPolicy
+from repro.simulation.cluster import Cluster
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RngStreams
+
+
+def tiny_registry() -> ProfileRegistry:
+    """Three fast models for quick cluster tests (seconds-scale sims)."""
+    return ProfileRegistry(
+        [
+            ModelProfile("alpha", base=0.020, per_item=0.005, max_batch=8),
+            ModelProfile("beta", base=0.015, per_item=0.004, max_batch=8),
+            ModelProfile("gamma", base=0.010, per_item=0.003, max_batch=8),
+        ]
+    )
+
+
+def tiny_chain_app(n: int = 3, slo: float = 0.300) -> Application:
+    """A linear n-module pipeline over the tiny registry models."""
+    models = ["alpha", "beta", "gamma"][:n]
+    return Application(spec=chain("tiny", models), slo=slo)
+
+
+def tiny_dag_app(slo: float = 0.350) -> Application:
+    """Fork/join DAG: alpha -> {beta, gamma} -> alpha2... simplified.
+
+    m1(alpha) -> m2(beta), m3(gamma) -> m4(beta).
+    """
+    spec = PipelineSpec(
+        name="tiny-dag",
+        modules=[
+            ModuleSpec("m1", "alpha", pres=(), subs=("m2", "m3")),
+            ModuleSpec("m2", "beta", pres=("m1",), subs=("m4",)),
+            ModuleSpec("m3", "gamma", pres=("m1",), subs=("m4",)),
+            ModuleSpec("m4", "beta", pres=("m2", "m3"), subs=()),
+        ],
+    )
+    return Application(spec=spec, slo=slo)
+
+
+def make_cluster(
+    policy: DropPolicy,
+    app: Application | None = None,
+    workers: int = 1,
+    batch_plan: dict[str, int] | None = None,
+    seed: int = 0,
+    sync_interval: float = 0.5,
+) -> Cluster:
+    """Build a small cluster over the tiny registry."""
+    app = app or tiny_chain_app()
+    return Cluster(
+        sim=Simulator(),
+        app=app,
+        policy=policy,
+        workers=workers,
+        registry=tiny_registry(),
+        batch_plan=batch_plan,
+        metrics=MetricsCollector(),
+        rng=RngStreams(seed=seed),
+        sync_interval=sync_interval,
+    )
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()

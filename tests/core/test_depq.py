@@ -1,0 +1,114 @@
+"""Tests for the min-max-heap DEPQ, including a model-based property test."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.depq import MinMaxHeap
+
+
+def test_empty_heap():
+    h: MinMaxHeap[str] = MinMaxHeap()
+    assert len(h) == 0
+    assert not h
+    with pytest.raises(IndexError):
+        h.peek_min()
+    with pytest.raises(IndexError):
+        h.pop_max()
+
+
+def test_single_element_is_both_min_and_max():
+    h: MinMaxHeap[str] = MinMaxHeap()
+    h.push(1.0, "a")
+    assert h.peek_min() == "a"
+    assert h.peek_max() == "a"
+    assert h.min_key() == h.max_key() == 1.0
+
+
+def test_pop_min_ascending():
+    h: MinMaxHeap[int] = MinMaxHeap()
+    for k in [5, 3, 8, 1, 9, 2]:
+        h.push(float(k), k)
+    assert [h.pop_min() for _ in range(len(h))] == [1, 2, 3, 5, 8, 9]
+
+
+def test_pop_max_descending():
+    h: MinMaxHeap[int] = MinMaxHeap()
+    for k in [5, 3, 8, 1, 9, 2]:
+        h.push(float(k), k)
+    assert [h.pop_max() for _ in range(len(h))] == [9, 8, 5, 3, 2, 1]
+
+
+def test_alternating_pops():
+    h: MinMaxHeap[int] = MinMaxHeap()
+    for k in range(10):
+        h.push(float(k), k)
+    assert h.pop_min() == 0
+    assert h.pop_max() == 9
+    assert h.pop_min() == 1
+    assert h.pop_max() == 8
+    assert len(h) == 6
+
+
+def test_equal_keys_pop_min_is_fifo():
+    h: MinMaxHeap[str] = MinMaxHeap()
+    h.push(1.0, "first")
+    h.push(1.0, "second")
+    h.push(1.0, "third")
+    assert h.pop_min() == "first"
+    assert h.pop_min() == "second"
+
+
+def test_items_returns_everything():
+    h: MinMaxHeap[int] = MinMaxHeap()
+    for k in range(5):
+        h.push(float(k), k)
+    assert sorted(h.items()) == [0, 1, 2, 3, 4]
+
+
+@settings(max_examples=200)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["push", "pop_min", "pop_max"]),
+                  st.floats(min_value=-1e6, max_value=1e6)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_property_matches_sorted_list_model(ops):
+    """Drive the heap and a sorted-list oracle with the same operations."""
+    heap: MinMaxHeap[float] = MinMaxHeap()
+    model: list[float] = []
+    counter = 0
+    for op, key in ops:
+        if op == "push":
+            heap.push(key, key)
+            model.append(key)
+            counter += 1
+        elif op == "pop_min" and model:
+            expected = min(model)
+            got = heap.pop_min()
+            assert got == expected
+            model.remove(expected)
+        elif op == "pop_max" and model:
+            expected = max(model)
+            got = heap.pop_max()
+            assert got == expected
+            model.remove(expected)
+        assert len(heap) == len(model)
+        if model:
+            assert heap.min_key() == min(model)
+            assert heap.max_key() == max(model)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1))
+def test_property_heapsort_both_directions(keys):
+    up: MinMaxHeap[float] = MinMaxHeap()
+    down: MinMaxHeap[float] = MinMaxHeap()
+    for k in keys:
+        up.push(k, k)
+        down.push(k, k)
+    assert [up.pop_min() for _ in range(len(keys))] == sorted(keys)
+    assert [down.pop_max() for _ in range(len(keys))] == sorted(keys, reverse=True)

@@ -1,0 +1,85 @@
+"""Tests for the §5.2 future-work extension: request-path prediction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import PardPolicy
+from repro.core.state_planner import PathMode, StatePlanner, WaitMode
+from repro.policies.naive import NaivePolicy
+from repro.simulation.routing import ProbabilisticRouter
+from repro.workload.generators import constant_trace
+from repro.workload.replay import replay
+
+from ..conftest import make_cluster, tiny_chain_app, tiny_dag_app
+
+
+class TestBranchProbability:
+    def test_non_fork_is_certain(self):
+        cluster = make_cluster(NaivePolicy(), app=tiny_chain_app(n=3))
+        assert cluster.branch_probability("m1", "m2") == 1.0
+
+    def test_unobserved_fork_is_uniform(self):
+        cluster = make_cluster(NaivePolicy(), app=tiny_dag_app())
+        assert cluster.branch_probability("m1", "m2") == pytest.approx(0.5)
+        assert cluster.branch_probability("m1", "m3") == pytest.approx(0.5)
+
+    def test_probabilities_track_observed_choices(self):
+        cluster = make_cluster(NaivePolicy(), app=tiny_dag_app())
+        cluster.router = ProbabilisticRouter(weights={"m2": 4, "m3": 1}, seed=0)
+        for i in range(100):
+            cluster.submit_at(0.05 * i)
+        cluster.sim.run()
+        p2 = cluster.branch_probability("m1", "m2")
+        p3 = cluster.branch_probability("m1", "m3")
+        assert p2 + p3 == pytest.approx(1.0)
+        assert p2 > 0.65
+
+
+class TestPredictedPathMode:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StatePlanner(path_mode="nope")
+
+    def test_chain_estimates_identical_between_modes(self):
+        app = tiny_chain_app(n=3)
+        pm = StatePlanner(path_mode=PathMode.MAX, wait_mode=WaitMode.LOWER)
+        pp = StatePlanner(path_mode=PathMode.PREDICTED, wait_mode=WaitMode.LOWER)
+        pm.bind(make_cluster(NaivePolicy(), app=app))
+        pp.bind(make_cluster(NaivePolicy(), app=app))
+        for mid in ("m1", "m2", "m3"):
+            assert pm.sub_estimate(mid) == pytest.approx(pp.sub_estimate(mid))
+
+    def test_predicted_leq_max_on_dag(self):
+        app = tiny_dag_app()
+        cluster = make_cluster(NaivePolicy(), app=app)
+        planner_max = StatePlanner(path_mode=PathMode.MAX,
+                                   wait_mode=WaitMode.LOWER)
+        planner_pred = StatePlanner(path_mode=PathMode.PREDICTED,
+                                    wait_mode=WaitMode.LOWER)
+        planner_max.bind(cluster)
+        planner_pred.bind(cluster)
+        assert planner_pred.sub_estimate("m1") <= planner_max.sub_estimate("m1")
+
+    def test_prediction_reduces_drops_on_dynamic_paths(self):
+        """§5.2: on dynamic-path DAGs the conservative max-over-paths
+        over-estimates; probability-weighted prediction recovers goodput."""
+
+        def run(path_mode: str) -> float:
+            app = tiny_dag_app(slo=0.22)
+            policy = PardPolicy(samples=500, path_mode=path_mode,
+                                wait_mode=WaitMode.UPPER)
+            cluster = make_cluster(policy, app=app, workers=1,
+                                   batch_plan={m: 4 for m in
+                                               app.spec.module_ids})
+            cluster.router = ProbabilisticRouter(
+                weights={"m2": 1, "m3": 9}, seed=1
+            )
+            replay(constant_trace(60.0, 8.0), cluster)
+            from repro.metrics import summarize
+
+            return summarize(cluster.metrics, duration=8.0).drop_rate
+
+        conservative = run(PathMode.MAX)
+        predicted = run(PathMode.PREDICTED)
+        assert predicted <= conservative

@@ -1,0 +1,108 @@
+"""Tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import (
+    APPS,
+    SYSTEM_FACTORIES,
+    TRACES,
+    all_workloads,
+    standard_config,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_cluster,
+    compare_policies,
+    run_experiment,
+)
+from repro.policies.naive import NaivePolicy
+from repro.policies.nexus import NexusPolicy
+from repro.workload.generators import constant_trace
+
+
+class TestConfig:
+    def test_unknown_app_or_trace_rejected(self):
+        with pytest.raises(ValueError):
+            standard_config("bogus", "tweet")
+        with pytest.raises(ValueError):
+            standard_config("lv", "bogus")
+
+    def test_all_workloads_cross_product(self):
+        wl = all_workloads(duration=10.0)
+        assert len(wl) == len(APPS) * len(TRACES)
+        assert ("lv", "tweet") in wl
+
+    def test_slo_override_applies(self):
+        config = standard_config("lv", "tweet", slo=0.250, duration=10.0)
+        assert config.resolve_app().slo == pytest.approx(0.250)
+
+    def test_custom_trace_used_verbatim(self):
+        trace = constant_trace(10.0, 5.0)
+        config = ExperimentConfig(
+            app="tm", trace="tweet", custom_trace=trace, workers=1
+        )
+        assert config.resolve_trace() is trace
+
+    def test_calibrated_rate_scales_with_utilization(self):
+        lo = standard_config("lv", "tweet", utilization=0.5, duration=10.0)
+        hi = standard_config("lv", "tweet", utilization=1.0, duration=10.0)
+        assert hi.resolve_base_rate() > lo.resolve_base_rate()
+
+    def test_calibrated_workers_cover_every_module(self):
+        config = standard_config("lv", "tweet", duration=10.0)
+        workers = config.resolve_workers()
+        assert set(workers) == set(config.resolve_app().spec.module_ids)
+        assert all(n >= 1 for n in workers.values())
+
+    def test_explicit_workers_respected(self):
+        config = ExperimentConfig(
+            app="tm", trace="tweet", workers=3, base_rate=20, duration=5.0
+        )
+        cluster = build_cluster(config, NaivePolicy())
+        assert all(m.n_workers == 3 for m in cluster.modules.values())
+
+
+class TestRunner:
+    def test_run_experiment_accounts_every_arrival(self):
+        config = ExperimentConfig(
+            app="tm", trace="tweet", base_rate=30, duration=8.0, workers=2
+        )
+        result = run_experiment(config, NaivePolicy())
+        assert result.summary.total == len(result.trace)
+        assert result.collector.submitted == len(result.trace)
+
+    def test_compare_policies_runs_fresh_clusters(self):
+        config = ExperimentConfig(
+            app="tm", trace="tweet", base_rate=30, duration=6.0, workers=2
+        )
+        results = compare_policies(
+            config,
+            {
+                "naive": lambda seed: NaivePolicy(),
+                "nexus": lambda seed: NexusPolicy(),
+            },
+        )
+        assert set(results) == {"naive", "nexus"}
+        assert results["naive"].cluster is not results["nexus"].cluster
+        assert results["naive"].summary.total == results["nexus"].summary.total
+
+    def test_system_factories_cover_paper_systems(self):
+        assert set(SYSTEM_FACTORIES) == {"PARD", "Nexus", "Clipper++", "Naive"}
+        for factory in SYSTEM_FACTORIES.values():
+            assert factory(0).name
+
+
+class TestHeadlineReproduction:
+    """Scaled-down check of the paper's headline comparison (§5.2)."""
+
+    def test_pard_beats_reactive_baselines_on_lv_tweet(self):
+        config = standard_config("lv", "tweet", duration=30.0, seed=1)
+        results = compare_policies(config, dict(SYSTEM_FACTORIES))
+        pard = results["PARD"].summary
+        for other in ("Nexus", "Clipper++", "Naive"):
+            s = results[other].summary
+            assert pard.goodput >= s.goodput
+            assert pard.invalid_rate <= s.invalid_rate + 0.01
+        assert pard.drop_rate < results["Naive"].summary.drop_rate

@@ -1,0 +1,111 @@
+"""Tests for model profiles and the default registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pipeline.applications import APPLICATIONS, get_application
+from repro.pipeline.profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
+
+
+class TestModelProfile:
+    def prof(self, **kw) -> ModelProfile:
+        args = dict(name="m", base=0.02, per_item=0.005, max_batch=16)
+        args.update(kw)
+        return ModelProfile(**args)
+
+    def test_duration_is_affine(self):
+        p = self.prof()
+        assert p.duration(1) == pytest.approx(0.025)
+        assert p.duration(4) == pytest.approx(0.040)
+
+    def test_throughput_increases_with_batch(self):
+        p = self.prof()
+        ths = [p.throughput(b) for b in range(1, 17)]
+        assert ths == sorted(ths)
+        assert p.max_throughput() == pytest.approx(p.throughput(16))
+
+    def test_batch_bounds_enforced(self):
+        p = self.prof()
+        with pytest.raises(ValueError):
+            p.duration(0)
+        with pytest.raises(ValueError):
+            p.duration(17)
+
+    def test_feasible_batch(self):
+        p = self.prof()
+        assert p.feasible_batch(0.040) == 4
+        assert p.feasible_batch(0.025) == 1
+        assert p.feasible_batch(0.010) == 0  # cannot fit even one
+        assert p.feasible_batch(10.0) == 16  # capped at max_batch
+
+    def test_feasible_batch_duration_fits(self):
+        p = self.prof()
+        for budget in (0.03, 0.05, 0.08):
+            b = p.feasible_batch(budget)
+            if b:
+                assert p.duration(b) <= budget + 1e-12
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            self.prof(base=0.0)
+        with pytest.raises(ValueError):
+            self.prof(per_item=-0.001)
+        with pytest.raises(ValueError):
+            self.prof(max_batch=0)
+
+    @given(st.floats(min_value=0.001, max_value=1.0))
+    def test_property_feasible_batch_maximal(self, budget):
+        p = self.prof()
+        b = p.feasible_batch(budget)
+        if b and b < p.max_batch:
+            assert p.duration(b + 1) > budget - 1e-8
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        reg = ProfileRegistry([ModelProfile("x", 0.01, 0.001)])
+        with pytest.raises(ValueError):
+            reg.register(ModelProfile("x", 0.02, 0.002))
+
+    def test_unknown_lookup_raises_with_hint(self):
+        reg = ProfileRegistry()
+        with pytest.raises(KeyError, match="no profile registered"):
+            reg.get("nope")
+
+    def test_contains_and_names(self):
+        reg = ProfileRegistry([ModelProfile("b", 0.01, 0.001),
+                               ModelProfile("a", 0.01, 0.001)])
+        assert "a" in reg and "c" not in reg
+        assert reg.names() == ["a", "b"]
+
+
+class TestApplications:
+    def test_all_application_models_profiled(self):
+        for name in APPLICATIONS:
+            app = get_application(name)
+            for m in app.spec.modules:
+                assert m.model in DEFAULT_PROFILES
+
+    def test_paper_module_counts_and_slos(self):
+        assert len(get_application("tm").spec) == 3
+        assert len(get_application("lv").spec) == 5
+        assert len(get_application("gm").spec) == 5
+        assert len(get_application("da").spec) == 5
+        assert get_application("tm").slo == pytest.approx(0.400)
+        assert get_application("lv").slo == pytest.approx(0.500)
+        assert get_application("gm").slo == pytest.approx(0.600)
+        assert get_application("da").slo == pytest.approx(0.420)
+
+    def test_da_is_a_dag_with_fork_and_join(self):
+        spec = get_application("da").spec
+        assert not spec.is_chain
+        assert spec.successors("m1") == ("m2", "m3")
+        assert spec.predecessors("m4") == ("m2", "m3")
+        assert len(spec.paths_from("m1")) == 2
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError):
+            get_application("nope")

@@ -1,0 +1,137 @@
+"""Tests for pipeline specifications (chains, DAGs, JSON round-trip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.spec import ModuleSpec, PipelineSpec, chain
+
+
+class TestChainBuilder:
+    def test_chain_structure(self):
+        spec = chain("p", ["a", "b", "c"])
+        assert spec.module_ids == ["m1", "m2", "m3"]
+        assert spec.entry_ids == ["m1"]
+        assert spec.exit_ids == ["m3"]
+        assert spec.is_chain
+        assert spec.successors("m1") == ("m2",)
+        assert spec.predecessors("m3") == ("m2",)
+
+    def test_single_module_chain(self):
+        spec = chain("p", ["a"])
+        assert spec.entry_ids == spec.exit_ids == ["m1"]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            chain("p", [])
+
+    def test_index_of(self):
+        spec = chain("p", ["a", "b", "c"])
+        assert spec.index_of("m2") == 1
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PipelineSpec(
+                name="bad",
+                modules=[
+                    ModuleSpec("m1", "a"),
+                    ModuleSpec("m1", "b"),
+                ],
+            )
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PipelineSpec(
+                name="bad",
+                modules=[ModuleSpec("m1", "a", subs=("ghost",))],
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            PipelineSpec(
+                name="bad",
+                modules=[
+                    ModuleSpec("m1", "a", pres=("m2",), subs=("m2",)),
+                    ModuleSpec("m2", "b", pres=("m1",), subs=("m1",)),
+                ],
+            )
+
+    def test_inconsistent_edges_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            PipelineSpec(
+                name="bad",
+                modules=[
+                    ModuleSpec("m1", "a", subs=("m2",)),
+                    ModuleSpec("m2", "b", pres=()),  # missing mirror
+                ],
+            )
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            PipelineSpec(
+                name="bad",
+                modules=[ModuleSpec("m1", "a"), ModuleSpec("m2", "b")],
+            )
+
+
+class TestDagPaths:
+    def dag(self) -> PipelineSpec:
+        return PipelineSpec(
+            name="dag",
+            modules=[
+                ModuleSpec("m1", "a", subs=("m2", "m3")),
+                ModuleSpec("m2", "b", pres=("m1",), subs=("m4",)),
+                ModuleSpec("m3", "c", pres=("m1",), subs=("m4",)),
+                ModuleSpec("m4", "d", pres=("m2", "m3")),
+            ],
+        )
+
+    def test_not_a_chain(self):
+        assert not self.dag().is_chain
+
+    def test_paths_from_entry(self):
+        paths = self.dag().paths_from("m1")
+        assert sorted(paths) == [["m2", "m4"], ["m3", "m4"]]
+
+    def test_paths_from_exit_is_empty_path(self):
+        assert self.dag().paths_from("m4") == [[]]
+
+    def test_paths_cached(self):
+        spec = self.dag()
+        assert spec.paths_from("m1") is spec.paths_from("m1")
+
+    def test_downstream(self):
+        assert self.dag().downstream("m1") == ["m2", "m3", "m4"]
+        assert self.dag().downstream("m4") == []
+
+    def test_topological_order_valid(self):
+        spec = self.dag()
+        order = spec.topological_order()
+        assert order.index("m1") < order.index("m2") < order.index("m4")
+        assert order.index("m1") < order.index("m3") < order.index("m4")
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        spec = chain("rt", ["a", "b"])
+        clone = PipelineSpec.from_json(spec.to_json())
+        assert clone.name == "rt"
+        assert clone.module_ids == spec.module_ids
+        assert clone["m1"].model == "a"
+        assert clone.successors("m1") == ("m2",)
+
+    def test_from_file(self, tmp_path):
+        spec = chain("ff", ["a", "b", "c"])
+        path = tmp_path / "pipe.json"
+        path.write_text(spec.to_json())
+        loaded = PipelineSpec.from_file(path)
+        assert loaded.module_ids == spec.module_ids
+
+    def test_contains_and_getitem(self):
+        spec = chain("p", ["a"])
+        assert "m1" in spec
+        assert "mX" not in spec
+        assert spec["m1"].model == "a"
+        assert len(spec) == 1

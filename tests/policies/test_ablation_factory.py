@@ -1,0 +1,100 @@
+"""Tests for the Table-1 ablation factory configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.broker import SubMode
+from repro.core.policy import BudgetMode, PardPolicy
+from repro.core.priority import PriorityMode
+from repro.core.state_planner import WaitMode
+from repro.policies.ablations import ABLATIONS, make_ablation
+from repro.policies.overload_control import OverloadControlPolicy
+
+PAPER_TABLE1 = {
+    "PARD-back",
+    "PARD-sf",
+    "PARD-oc",
+    "PARD-split",
+    "PARD-WCL",
+    "PARD-lower",
+    "PARD-upper",
+    "PARD-FCFS",
+    "PARD-HBF",
+    "PARD-LBF",
+}
+
+
+def test_every_table1_row_is_available():
+    assert PAPER_TABLE1 <= set(ABLATIONS)
+    assert "PARD" in ABLATIONS
+    assert "PARD-instant" in ABLATIONS  # §5.3's extra variant
+
+
+def test_names_match_keys():
+    for name in ABLATIONS:
+        assert make_ablation(name).name == name
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown ablation"):
+        make_ablation("PARD-bogus")
+
+
+@pytest.mark.parametrize(
+    ("name", "attr", "expected"),
+    [
+        ("PARD-back", "sub", SubMode.NONE),
+        ("PARD-sf", "sub", SubMode.DURATIONS),
+        ("PARD", "sub", SubMode.FULL),
+        ("PARD-lower", "wait", WaitMode.LOWER),
+        ("PARD-upper", "wait", WaitMode.UPPER),
+        ("PARD", "wait", WaitMode.QUANTILE),
+        ("PARD-split", "budget", BudgetMode.SPLIT),
+        ("PARD-WCL", "budget", BudgetMode.WCL),
+        ("PARD", "budget", BudgetMode.E2E),
+        ("PARD-FCFS", "priority", PriorityMode.FCFS),
+        ("PARD-HBF", "priority", PriorityMode.HBF),
+        ("PARD-LBF", "priority", PriorityMode.LBF),
+        ("PARD-instant", "priority", PriorityMode.INSTANT),
+        ("PARD", "priority", PriorityMode.ADAPTIVE),
+    ],
+)
+def test_single_knob_changed(name, attr, expected):
+    policy = make_ablation(name)
+    assert isinstance(policy, PardPolicy)
+    actual = {
+        "sub": lambda p: p.broker.sub_mode,
+        "wait": lambda p: p.planner.wait_mode,
+        "budget": lambda p: p.budget_mode,
+        "priority": lambda p: p.priority.mode,
+    }[attr](policy)
+    assert actual == expected
+
+
+def test_each_ablation_changes_exactly_one_knob():
+    """Every PardPolicy-based ablation differs from PARD in one dimension."""
+    base = make_ablation("PARD")
+    knobs = {
+        "sub": lambda p: p.broker.sub_mode,
+        "wait": lambda p: p.planner.wait_mode,
+        "budget": lambda p: p.budget_mode,
+        "priority": lambda p: p.priority.mode,
+    }
+    for name in ABLATIONS:
+        policy = make_ablation(name)
+        if not isinstance(policy, PardPolicy) or name == "PARD":
+            continue
+        diffs = [
+            k for k, get in knobs.items() if get(policy) != get(base)
+        ]
+        assert len(diffs) == 1, f"{name} changed {diffs}"
+
+
+def test_oc_is_overload_control():
+    assert isinstance(make_ablation("PARD-oc"), OverloadControlPolicy)
+
+
+def test_seed_propagates():
+    a = make_ablation("PARD", seed=3)
+    assert isinstance(a, PardPolicy)

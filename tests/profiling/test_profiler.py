@@ -1,0 +1,82 @@
+"""Tests for the offline profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.profiling import (
+    OfflineProfiler,
+    SyntheticGpu,
+    profile_model,
+)
+
+
+class TestSyntheticGpu:
+    def test_latency_scales_with_batch(self):
+        gpu = SyntheticGpu(base=0.02, per_item=0.005, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert gpu.execute(1, rng) == pytest.approx(0.025)
+        assert gpu.execute(8, rng) == pytest.approx(0.060)
+
+    def test_jitter_varies_samples(self):
+        gpu = SyntheticGpu(base=0.02, per_item=0.005, jitter=0.05)
+        rng = np.random.default_rng(0)
+        samples = {gpu.execute(4, rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_out_of_range_batch_rejected(self):
+        gpu = SyntheticGpu(base=0.02, per_item=0.005, max_batch=8)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gpu.execute(9, rng)
+        with pytest.raises(ValueError):
+            gpu.execute(0, rng)
+
+
+class TestOfflineProfiler:
+    def test_fit_recovers_true_curve(self):
+        gpu = SyntheticGpu(base=0.020, per_item=0.004, jitter=0.02)
+        profiler = OfflineProfiler(repeats=50, seed=1)
+        profiler.measure(gpu)
+        profile = profiler.fit("model", max_batch=gpu.max_batch)
+        assert profile.base == pytest.approx(gpu.base, rel=0.25)
+        assert profile.per_item == pytest.approx(gpu.per_item, rel=0.15)
+        assert profiler.fit_error(gpu, profile) < 0.10
+
+    def test_measurements_respect_max_batch(self):
+        gpu = SyntheticGpu(base=0.02, per_item=0.004, max_batch=8)
+        profiler = OfflineProfiler(repeats=5, seed=0)
+        ms = profiler.measure(gpu)
+        assert all(m.batch_size <= 8 for m in ms)
+        assert any(m.batch_size == 8 for m in ms)
+
+    def test_fit_requires_measurements(self):
+        with pytest.raises(ValueError, match="measure"):
+            OfflineProfiler().fit("m")
+
+    def test_repeats_validated(self):
+        gpu = SyntheticGpu(base=0.02, per_item=0.004)
+        with pytest.raises(ValueError):
+            OfflineProfiler(repeats=1).measure(gpu)
+
+    def test_measurement_stats(self):
+        gpu = SyntheticGpu(base=0.02, per_item=0.004, jitter=0.05)
+        profiler = OfflineProfiler(repeats=40, seed=2)
+        ms = profiler.measure(gpu, batch_sizes=[4])
+        m = ms[0]
+        assert m.p95 >= m.mean > 0
+
+    def test_profile_model_convenience(self):
+        gpu = SyntheticGpu(base=0.015, per_item=0.006)
+        profile = profile_model("conv", gpu, repeats=30, seed=3)
+        assert profile.name == "conv"
+        assert profile.max_batch == gpu.max_batch
+        # The fitted profile is usable by the batch planner.
+        assert profile.feasible_batch(0.1) >= 1
+
+    def test_deterministic_given_seed(self):
+        gpu = SyntheticGpu(base=0.02, per_item=0.004)
+        a = profile_model("m", gpu, seed=7)
+        b = profile_model("m", gpu, seed=7)
+        assert a.base == b.base and a.per_item == b.per_item

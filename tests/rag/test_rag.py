@@ -1,0 +1,139 @@
+"""Tests for the RAG case study (§7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rag import (
+    PredictRagPolicy,
+    ProactiveRagPolicy,
+    RagConfig,
+    RagPipeline,
+    RagStatus,
+    ReactiveRagPolicy,
+)
+
+
+def arrivals(rate: float, duration: float, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate, size=int(rate * duration)))
+
+
+def run(policy, rate=6.0, duration=30.0, config=None, seed=1) -> RagPipeline:
+    pipe = RagPipeline(policy, config=config, seed=seed)
+    for t in arrivals(rate, duration):
+        pipe.submit_at(float(t))
+    pipe.run()
+    return pipe
+
+
+class TestPipelineMechanics:
+    def test_light_load_mostly_completes(self):
+        pipe = run(ReactiveRagPolicy(), rate=2.0, duration=20.0)
+        assert pipe.requests
+        done = sum(1 for r in pipe.requests if r.status is RagStatus.COMPLETED)
+        # A few requests with extreme rewrite output lengths legitimately
+        # blow the TTFT SLO even when idle; the bulk must complete.
+        assert done >= 0.9 * len(pipe.requests)
+        assert pipe.drop_rate() < 0.2
+
+    def test_all_requests_terminate(self):
+        pipe = run(ReactiveRagPolicy(), rate=20.0, duration=20.0)
+        assert all(
+            r.status in (RagStatus.COMPLETED, RagStatus.DROPPED)
+            for r in pipe.requests
+        )
+
+    def test_stages_recorded_for_completed_requests(self):
+        pipe = run(ReactiveRagPolicy(), rate=2.0, duration=10.0)
+        done = [r for r in pipe.requests if r.status is RagStatus.COMPLETED]
+        for r in done:
+            assert set(r.stage_times) == {
+                "rewrite", "retrieve", "search", "generate"
+            }
+
+    def test_generate_waits_for_both_branches(self):
+        pipe = run(ReactiveRagPolicy(), rate=2.0, duration=10.0)
+        for r in pipe.requests:
+            if r.status is not RagStatus.COMPLETED:
+                continue
+            gen_start = r.stage_times["generate"][0]
+            assert gen_start >= r.stage_times["retrieve"][1] - 1e-9
+            assert gen_start >= r.stage_times["search"][1] - 1e-9
+
+    def test_slot_limit_respected(self):
+        cfg = RagConfig(rewrite_slots=2, generate_slots=2)
+        pipe = RagPipeline(ReactiveRagPolicy(), config=cfg, seed=0)
+        for t in arrivals(10.0, 10.0):
+            pipe.submit_at(float(t))
+        # busy never exceeds slots while the simulation runs.
+        max_busy = 0
+
+        orig = pipe.rewrite._finish
+
+        def probe(request, start):
+            nonlocal max_busy
+            max_busy = max(max_busy, pipe.rewrite.busy)
+            orig(request, start)
+
+        pipe.rewrite._finish = probe
+        pipe.run()
+        assert max_busy <= 2
+
+    def test_determinism(self):
+        a = run(ProactiveRagPolicy(), rate=8.0, duration=15.0, seed=3)
+        b = run(ProactiveRagPolicy(), rate=8.0, duration=15.0, seed=3)
+        assert a.drop_rate() == b.drop_rate()
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(ValueError):
+            RagPipeline(ReactiveRagPolicy(), config=RagConfig(rewrite_slots=0))
+
+
+class TestPolicies:
+    def test_reactive_only_drops_expired(self):
+        pipe = run(ReactiveRagPolicy(), rate=20.0, duration=20.0)
+        for r in pipe.requests:
+            if r.status is RagStatus.DROPPED:
+                assert r.finished_at - r.sent_at > pipe.config.ttft_slo - 1e-9
+
+    def test_proactive_beats_reactive_under_overload(self):
+        reactive = run(ReactiveRagPolicy(), rate=16.0, duration=60.0)
+        proactive = run(ProactiveRagPolicy(), rate=16.0, duration=60.0)
+        assert proactive.drop_rate() < reactive.drop_rate()
+
+    def test_proactive_drops_early_wasting_less(self):
+        proactive = run(ProactiveRagPolicy(), rate=16.0, duration=60.0)
+        drops = [r for r in proactive.requests if r.status is RagStatus.DROPPED]
+        assert drops
+        # A substantial share of proactive drops happen at admission,
+        # before any stage executed; and none of the drops ever occupied a
+        # generate slot (TTFT work is never wasted on doomed requests).
+        fresh = [r for r in drops if not r.stage_times]
+        assert len(fresh) >= len(drops) // 4
+        assert all("generate" not in r.stage_times for r in drops)
+
+    def test_oracle_estimates_use_true_output_length(self):
+        cfg = RagConfig()
+        pipe = RagPipeline(PredictRagPolicy(), config=cfg, seed=0)
+        policy = pipe.policy
+        req = pipe.requests  # none yet
+        pipe.submit_at(0.0)
+        request = pipe.requests[0]
+        est = policy._rewrite_estimate(request, pipe)
+        exact = cfg.rewrite_base + cfg.rewrite_per_token * request.rewrite_tokens
+        assert est == pytest.approx(exact)  # empty queue -> no penalty
+
+    def test_stage_latency_samples_populated(self):
+        pipe = run(ProactiveRagPolicy(), rate=6.0, duration=20.0)
+        samples = pipe.stage_latency_samples()
+        for stage in ("rewrite", "retrieve", "search", "generate"):
+            assert samples[stage]
+
+    def test_search_has_heavier_tail_than_retrieve(self):
+        pipe = run(ReactiveRagPolicy(), rate=4.0, duration=40.0)
+        s = pipe.stage_latency_samples()
+        search_p95 = float(np.quantile(s["search"], 0.95))
+        retrieve_p95 = float(np.quantile(s["retrieve"], 0.95))
+        assert search_p95 > retrieve_p95

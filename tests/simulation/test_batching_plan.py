@@ -1,0 +1,93 @@
+"""Tests for SLO splitting, batch planning and provisioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.profiles import ModelProfile, ProfileRegistry
+from repro.pipeline.spec import chain
+from repro.simulation.batching import (
+    module_throughput,
+    plan_batch_sizes,
+    provision_workers,
+    slo_split,
+)
+
+
+def registry() -> ProfileRegistry:
+    return ProfileRegistry(
+        [
+            ModelProfile("heavy", base=0.030, per_item=0.010, max_batch=16),
+            ModelProfile("light", base=0.010, per_item=0.003, max_batch=16),
+        ]
+    )
+
+
+def spec():
+    return chain("p", ["heavy", "light"])
+
+
+class TestSloSplit:
+    def test_shares_proportional_to_single_request_duration(self):
+        shares = slo_split(spec(), registry(), slo=0.40)
+        # heavy d1 = 0.040, light d1 = 0.013 -> shares 40/53, 13/53.
+        assert shares["m1"] == pytest.approx(0.40 * 0.040 / 0.053)
+        assert shares["m2"] == pytest.approx(0.40 * 0.013 / 0.053)
+
+    def test_shares_sum_to_slo(self):
+        shares = slo_split(spec(), registry(), slo=0.40)
+        assert sum(shares.values()) == pytest.approx(0.40)
+
+
+class TestBatchPlan:
+    def test_batches_fit_their_budget(self):
+        reg = registry()
+        plan = plan_batch_sizes(spec(), reg, slo=0.40, execution_fraction=0.5)
+        shares = slo_split(spec(), reg, slo=0.40)
+        for mid, batch in plan.items():
+            model = spec()[mid].model
+            assert reg.get(model).duration(batch) <= shares[mid] * 0.5 + 1e-9
+
+    def test_minimum_batch_is_one_even_when_budget_too_small(self):
+        plan = plan_batch_sizes(spec(), registry(), slo=0.05)
+        assert all(b >= 1 for b in plan.values())
+
+    def test_larger_slo_allows_larger_batches(self):
+        small = plan_batch_sizes(spec(), registry(), slo=0.30)
+        large = plan_batch_sizes(spec(), registry(), slo=0.60)
+        assert all(large[m] >= small[m] for m in small)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            plan_batch_sizes(spec(), registry(), slo=0.4, execution_fraction=0.0)
+
+
+class TestProvisioning:
+    def test_enough_capacity_for_rate(self):
+        reg = registry()
+        plan = plan_batch_sizes(spec(), reg, slo=0.40)
+        workers = provision_workers(spec(), reg, plan, rate=200.0)
+        for mid, n in workers.items():
+            model = spec()[mid].model
+            cap = module_throughput(reg.get(model), plan[mid], n)
+            assert cap >= 200.0
+
+    def test_minimal_worker_count(self):
+        reg = registry()
+        plan = plan_batch_sizes(spec(), reg, slo=0.40)
+        workers = provision_workers(spec(), reg, plan, rate=200.0)
+        for mid, n in workers.items():
+            if n > 1:
+                model = spec()[mid].model
+                cap = module_throughput(reg.get(model), plan[mid], n - 1)
+                assert cap < 200.0  # one fewer would not suffice
+
+    def test_zero_rate_rejected(self):
+        reg = registry()
+        plan = plan_batch_sizes(spec(), reg, slo=0.40)
+        with pytest.raises(ValueError):
+            provision_workers(spec(), reg, plan, rate=0.0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            module_throughput(registry().get("heavy"), 4, -1)

@@ -1,0 +1,93 @@
+"""Tests for worker failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.naive import NaivePolicy
+from repro.policies.nexus import NexusPolicy
+from repro.simulation.failures import FailureEvent, FailureInjector
+from repro.simulation.request import RequestStatus
+from repro.workload.generators import constant_trace
+from repro.workload.replay import replay
+
+from ..conftest import make_cluster, tiny_chain_app
+
+
+def run_with_failures(policy, events, rate=40.0, duration=10.0, workers=2):
+    app = tiny_chain_app(n=2, slo=0.4)
+    cluster = make_cluster(policy, app=app, workers=workers,
+                           batch_plan={"m1": 4, "m2": 4})
+    injector = FailureInjector(cluster, events=events)
+    injector.schedule_all()
+    replay(constant_trace(rate, duration), cluster)
+    return cluster, injector
+
+
+class TestFailureEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time=1.0, module_id="m1", workers=0)
+        with pytest.raises(ValueError):
+            FailureEvent(time=1.0, module_id="m1", downtime=0.0)
+
+
+class TestInjection:
+    def test_capacity_drops_then_recovers(self):
+        cluster, injector = run_with_failures(
+            NaivePolicy(),
+            [FailureEvent(time=3.0, module_id="m1", workers=1, downtime=2.0)],
+        )
+        assert cluster.modules["m1"].n_workers == 2  # recovered
+        assert len(injector.log) == 2
+        assert "fail" in injector.log[0]
+        assert "recover" in injector.log[1]
+
+    def test_no_requests_lost(self):
+        cluster, _ = run_with_failures(
+            NaivePolicy(),
+            [FailureEvent(time=3.0, module_id="m1", workers=1, downtime=2.0)],
+        )
+        assert len(cluster.metrics.records) == 400
+        assert all(
+            r.status in (RequestStatus.COMPLETED, RequestStatus.DROPPED)
+            for r in cluster.metrics.records
+        )
+
+    def test_total_module_outage_orphans_then_replays(self):
+        cluster, injector = run_with_failures(
+            NaivePolicy(),
+            [FailureEvent(time=3.0, module_id="m2", workers=2, downtime=1.0)],
+            rate=20.0,
+        )
+        assert len(cluster.metrics.records) == 200
+        # Requests sent into the outage window still finished eventually.
+        in_window = [
+            r for r in cluster.metrics.records if 3.0 <= r.sent_at < 4.0
+        ]
+        assert in_window
+        assert all(
+            r.status is RequestStatus.COMPLETED for r in in_window
+        )
+
+    def test_failure_causes_slo_violations_without_dropping(self):
+        cluster, _ = run_with_failures(
+            NaivePolicy(),
+            [FailureEvent(time=2.0, module_id="m1", workers=1, downtime=4.0)],
+            rate=150.0,
+        )
+        violations = [r for r in cluster.metrics.records if not r.met_slo]
+        assert violations  # the outage backlog blows SLOs under Naive
+
+    def test_dropping_policy_limits_failure_damage(self):
+        """The paper's §2 motivation: with dropping, the failure backlog is
+        shed instead of poisoning every subsequent request."""
+        events = [FailureEvent(time=2.0, module_id="m1", workers=1,
+                               downtime=4.0)]
+        naive, _ = run_with_failures(NaivePolicy(), list(events), rate=150.0)
+        nexus, _ = run_with_failures(NexusPolicy(), list(events), rate=150.0)
+        good_naive = sum(1 for r in naive.metrics.records
+                         if r.met_slo and r.sent_at > 6.0)
+        good_nexus = sum(1 for r in nexus.metrics.records
+                         if r.met_slo and r.sent_at > 6.0)
+        assert good_nexus >= good_naive

@@ -1,0 +1,54 @@
+"""Tests for named RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.rng import RngStreams
+
+
+def test_same_name_returns_same_generator():
+    streams = RngStreams(seed=1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_same_seed_reproduces_draws():
+    a = RngStreams(seed=42).stream("arrivals").random(10)
+    b = RngStreams(seed=42).stream("arrivals").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(seed=42)
+    a = streams.stream("one").random(10)
+    b = streams.stream("two").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    s1 = RngStreams(seed=7)
+    s1.stream("noise").random(1000)  # burn a different stream
+    after_burn = s1.stream("target").random(5)
+    s2 = RngStreams(seed=7)
+    fresh = s2.stream("target").random(5)
+    assert np.array_equal(after_burn, fresh)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("x").random(10)
+    b = RngStreams(seed=2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        RngStreams(seed=-1)
+
+
+def test_spawn_is_deterministic_and_independent():
+    parent = RngStreams(seed=9)
+    child_a = parent.spawn("child").stream("x").random(5)
+    child_b = RngStreams(seed=9).spawn("child").stream("x").random(5)
+    assert np.array_equal(child_a, child_b)
+    assert not np.array_equal(child_a, parent.stream("x").random(5))

@@ -1,0 +1,101 @@
+"""Tests for sliding-window runtime statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.stats import ModuleStats, RateMeter, WindowedSamples
+
+
+class TestWindowedSamples:
+    def test_mean_of_recent_samples(self):
+        ws = WindowedSamples(window=5.0)
+        ws.record(0.0, 1.0)
+        ws.record(1.0, 3.0)
+        assert ws.mean(now=1.0) == pytest.approx(2.0)
+
+    def test_old_samples_evicted(self):
+        ws = WindowedSamples(window=5.0)
+        ws.record(0.0, 100.0)
+        ws.record(6.0, 2.0)
+        assert ws.mean(now=6.0) == pytest.approx(2.0)
+        assert len(ws) == 1
+
+    def test_weighted_average_prefers_recent(self):
+        ws = WindowedSamples(window=10.0)
+        ws.record(0.0, 0.0)  # old, low weight
+        ws.record(9.0, 10.0)  # fresh, high weight
+        avg = ws.weighted_average(now=10.0)
+        assert avg > 5.0  # closer to the fresh sample
+
+    def test_weighted_average_equals_value_for_single_sample(self):
+        ws = WindowedSamples(window=5.0)
+        ws.record(1.0, 7.0)
+        assert ws.weighted_average(now=1.0) == pytest.approx(7.0)
+
+    def test_default_when_empty(self):
+        ws = WindowedSamples(window=5.0)
+        assert ws.weighted_average(now=1.0, default=42.0) == 42.0
+        assert ws.mean(now=1.0, default=-1.0) == -1.0
+
+    def test_values_returns_window_contents(self):
+        ws = WindowedSamples(window=2.0)
+        ws.record(0.0, 1.0)
+        ws.record(1.5, 2.0)
+        ws.record(2.5, 3.0)
+        assert ws.values(now=3.0) == [2.0, 3.0]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedSamples(window=0.0)
+
+
+class TestRateMeter:
+    def test_rate_over_full_window(self):
+        rm = RateMeter(window=5.0)
+        for t in (5.0, 6.0, 7.0, 8.0, 9.0):
+            rm.record(t)
+        assert rm.rate(now=10.0) == pytest.approx(1.0)
+
+    def test_rate_early_in_run_uses_elapsed_span(self):
+        rm = RateMeter(window=10.0)
+        rm.record(0.5)
+        rm.record(1.0)
+        # Only 2 seconds elapsed: rate should reflect 2 events / 2 s.
+        assert rm.rate(now=2.0) == pytest.approx(1.0)
+
+    def test_zero_rate_when_no_events(self):
+        rm = RateMeter(window=5.0)
+        assert rm.rate(now=10.0) == 0.0
+
+    def test_events_age_out(self):
+        rm = RateMeter(window=2.0)
+        rm.record(0.0)
+        rm.record(0.5)
+        assert rm.rate(now=5.0) == 0.0
+
+    def test_total_counts_everything(self):
+        rm = RateMeter(window=1.0)
+        for t in range(10):
+            rm.record(float(t))
+        assert rm.total == 10
+
+
+class TestModuleStats:
+    def test_records_flow_through(self):
+        ms = ModuleStats(window=5.0)
+        ms.record_arrival(0.1)
+        ms.record_queue_delay(0.2, 0.05)
+        ms.record_batch_wait(0.2, 0.02)
+        ms.record_batch(0.3, 4)
+        ms.record_drop()
+        assert ms.input_rate(1.0) > 0
+        assert ms.avg_queue_delay(0.5) == pytest.approx(0.05)
+        assert ms.recent_batch_waits(0.5) == [0.02]
+        assert ms.avg_batch_size(0.5, default=1) == pytest.approx(4.0)
+        assert ms.drops == 1
+        assert ms.executed == 4
+
+    def test_avg_batch_size_default(self):
+        ms = ModuleStats(window=5.0)
+        assert ms.avg_batch_size(1.0, default=8) == 8

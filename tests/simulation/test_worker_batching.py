@@ -1,0 +1,115 @@
+"""Tests for worker batching mechanics (Figure 3b semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.naive import NaivePolicy
+from repro.simulation.request import Request, RequestStatus
+
+from ..conftest import make_cluster, tiny_chain_app
+
+
+def single_module_cluster(batch: int = 4, workers: int = 1):
+    app = tiny_chain_app(n=1, slo=10.0)  # generous SLO: nothing drops
+    return make_cluster(
+        NaivePolicy(), app=app, workers=workers, batch_plan={"m1": batch}
+    )
+
+
+def test_idle_worker_starts_batch_immediately():
+    cluster = single_module_cluster()
+    cluster.submit_at(0.0)
+    cluster.sim.run()
+    rec = cluster.metrics.records[0]
+    visit = rec.visits[0]
+    assert visit.queueing_delay == pytest.approx(0.0)
+    assert visit.batch_wait == pytest.approx(0.0)
+    assert visit.batch_size == 1
+
+
+def test_requests_arriving_during_execution_form_next_batch():
+    cluster = single_module_cluster(batch=4)
+    # alpha profile: duration(1) = 0.025, duration(3) = 0.035.
+    cluster.submit_at(0.0)  # starts immediately, runs [0, 0.025)
+    cluster.submit_at(0.005)  # joins forming batch, waits until 0.025
+    cluster.submit_at(0.010)
+    cluster.submit_at(0.015)
+    cluster.sim.run()
+    records = sorted(cluster.metrics.records, key=lambda r: r.sent_at)
+    assert records[0].visits[0].batch_size == 1
+    later = records[1:]
+    assert all(r.visits[0].batch_size == 3 for r in later)
+    # Second batch starts exactly when the first finishes.
+    assert later[0].visits[0].batch_wait == pytest.approx(0.025 - 0.005)
+    assert later[-1].visits[0].batch_wait == pytest.approx(0.025 - 0.015)
+
+
+def test_batch_wait_decreases_with_later_arrival():
+    """Figure 3b: earlier requests in a forming batch wait longer."""
+    cluster = single_module_cluster(batch=8)
+    cluster.submit_at(0.0)
+    waits = []
+    for t in (0.002, 0.010, 0.020):
+        cluster.submit_at(t)
+    cluster.sim.run()
+    records = sorted(cluster.metrics.records, key=lambda r: r.sent_at)[1:]
+    waits = [r.visits[0].batch_wait for r in records]
+    assert waits == sorted(waits, reverse=True)
+
+
+def test_forming_batch_respects_target_size():
+    cluster = single_module_cluster(batch=2)
+    for i in range(6):
+        cluster.submit_at(0.001 * i)
+    cluster.sim.run()
+    sizes = {r.visits[0].batch_size for r in cluster.metrics.records}
+    assert max(sizes) <= 2
+
+
+def test_gpu_time_share_is_duration_over_batch():
+    cluster = single_module_cluster(batch=4)
+    cluster.submit_at(0.0)
+    cluster.submit_at(0.001)
+    cluster.submit_at(0.002)
+    cluster.sim.run()
+    records = sorted(cluster.metrics.records, key=lambda r: r.sent_at)
+    # First batch: size 1, duration(1) = 0.025.
+    assert records[0].gpu_time == pytest.approx(0.025)
+    # Second batch: size 2, duration(2) = 0.030 shared by 2.
+    for r in records[1:]:
+        assert r.gpu_time == pytest.approx(0.015)
+
+
+def test_worker_goes_idle_and_resumes():
+    cluster = single_module_cluster()
+    cluster.submit_at(0.0)
+    cluster.submit_at(1.0)  # long after the first batch drained
+    cluster.sim.run()
+    assert len(cluster.metrics.records) == 2
+    second = max(cluster.metrics.records, key=lambda r: r.sent_at)
+    assert second.visits[0].queueing_delay == pytest.approx(0.0)
+    assert second.visits[0].batch_wait == pytest.approx(0.0)
+
+
+def test_telemetry_counters():
+    cluster = single_module_cluster(batch=4)
+    for i in range(5):
+        cluster.submit_at(0.001 * i)
+    cluster.sim.run()
+    worker = cluster.modules["m1"].workers[0]
+    assert worker.telemetry.executed_requests == 5
+    assert worker.telemetry.batches >= 2
+    assert worker.telemetry.busy_time > 0
+
+
+def test_all_requests_reach_terminal_state():
+    cluster = single_module_cluster(batch=4, workers=2)
+    for i in range(50):
+        cluster.submit_at(0.002 * i)
+    cluster.sim.run()
+    assert len(cluster.metrics.records) == 50
+    assert all(
+        r.status in (RequestStatus.COMPLETED, RequestStatus.DROPPED)
+        for r in cluster.metrics.records
+    )

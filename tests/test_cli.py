@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lv" in out and "PARD" in out and "Clipper++" in out
+
+    def test_run_requires_valid_policy(self):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--policy", "NoSuchPolicy", "--duration", "5",
+                "--app", "tm",
+            ])
+
+    def test_unknown_app_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "bogus"])
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommands:
+    def test_run_prints_summary_table(self, capsys):
+        rc = main([
+            "run", "--app", "tm", "--trace", "tweet", "--duration", "8",
+            "--policy", "Nexus", "--no-scaling",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Nexus" in out
+        assert "drop rate" in out
+        assert "m1" in out  # per-module table
+
+    def test_compare_prints_all_policies(self, capsys):
+        rc = main([
+            "compare", "--app", "tm", "--trace", "tweet", "--duration", "8",
+            "--policies", "PARD,Naive", "--no-scaling",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PARD" in out and "Naive" in out
+
+    def test_markdown_output(self, capsys):
+        rc = main([
+            "run", "--app", "tm", "--trace", "wiki", "--duration", "6",
+            "--policy", "Naive", "--markdown", "--no-scaling",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| policy" in out
+
+    def test_slo_override(self, capsys):
+        rc = main([
+            "run", "--app", "tm", "--trace", "tweet", "--duration", "6",
+            "--policy", "PARD", "--slo", "0.3", "--no-scaling",
+        ])
+        assert rc == 0

@@ -1,0 +1,72 @@
+"""Tests for trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.generators import poisson_trace
+from repro.workload.io import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+)
+from repro.workload.trace import Trace
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return poisson_trace(rate=30, duration=10, seed=5, name="unit")
+
+
+class TestCsv:
+    def test_round_trip(self, trace, tmp_path):
+        p = tmp_path / "t.csv"
+        save_trace_csv(trace, p)
+        loaded = load_trace_csv(p)
+        assert loaded.name == "unit"
+        assert loaded.duration == trace.duration
+        assert np.allclose(loaded.arrivals, trace.arrivals)
+
+    def test_load_plain_timestamp_file(self, tmp_path):
+        p = tmp_path / "plain.csv"
+        p.write_text("0.5\n1.5\n1.0\n")
+        loaded = load_trace_csv(p, name="mine", duration=2.0)
+        assert loaded.name == "mine"
+        assert list(loaded.arrivals) == [0.5, 1.0, 1.5]  # sorted
+
+    def test_duration_inferred_when_missing(self, tmp_path):
+        p = tmp_path / "plain.csv"
+        p.write_text("0.5\n2.5\n")
+        loaded = load_trace_csv(p)
+        assert loaded.duration >= 2.5
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        loaded = load_trace_csv(p)
+        assert len(loaded) == 0
+
+
+class TestJson:
+    def test_round_trip(self, trace, tmp_path):
+        p = tmp_path / "t.json"
+        save_trace_json(trace, p)
+        loaded = load_trace_json(p)
+        assert loaded.name == trace.name
+        assert loaded.duration == trace.duration
+        assert np.array_equal(loaded.arrivals, trace.arrivals)
+
+    def test_loaded_trace_is_replayable(self, trace, tmp_path):
+        from repro.policies.naive import NaivePolicy
+        from repro.workload.replay import replay
+
+        from ..conftest import make_cluster, tiny_chain_app
+
+        p = tmp_path / "t.json"
+        save_trace_json(trace, p)
+        loaded = load_trace_json(p)
+        cluster = make_cluster(NaivePolicy(), app=tiny_chain_app(slo=5.0))
+        replay(loaded, cluster)
+        assert len(cluster.metrics.records) == len(trace)
