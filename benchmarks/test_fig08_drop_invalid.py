@@ -13,13 +13,11 @@ SYSTEMS = ("PARD", "Nexus", "Clipper++", "Naive")
 
 
 def test_fig8_drop_and_invalid_rates(benchmark, workload_sweep):
+    grid = [(a, t, s) for a in APPS for t in TRACES for s in SYSTEMS]
+
     def sweep():
-        return {
-            (a, t, s): workload_sweep(a, t, s)
-            for a in APPS
-            for t in TRACES
-            for s in SYSTEMS
-        }
+        workload_sweep.prefetch(grid)  # fan the 48 cells over the pool
+        return {key: workload_sweep(*key) for key in grid}
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -14,15 +14,14 @@ WINDOWS = (2.0, 5.0, 10.0, 25.0)
 
 
 def test_fig9_max_windowed_drop_rate(benchmark, workload_sweep):
+    grid = [(a, t, s) for a in APPS for t in TRACES for s in SYSTEMS]
+
     def sweep():
+        workload_sweep.prefetch(grid)
         out = {}
-        for a in APPS:
-            for t in TRACES:
-                for s in SYSTEMS:
-                    res = workload_sweep(a, t, s)
-                    out[(a, t, s)] = [
-                        max_drop_rate(res.collector, w) for w in WINDOWS
-                    ]
+        for key in grid:
+            res = workload_sweep(*key)
+            out[key] = [max_drop_rate(res.collector, w) for w in WINDOWS]
         return out
 
     rates = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -36,13 +36,11 @@ def test_fig10_trace_envelopes(benchmark):
 
 
 def test_fig10_normalized_goodput_under_burst(benchmark, workload_sweep):
+    grid = [(a, t, s) for a in APPS for t in TRACES for s in SYSTEMS]
+
     def sweep():
-        return {
-            (a, t, s): workload_sweep(a, t, s)
-            for a in APPS
-            for t in TRACES
-            for s in SYSTEMS
-        }
+        workload_sweep.prefetch(grid)
+        return {key: workload_sweep(*key) for key in grid}
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

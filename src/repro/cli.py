@@ -4,6 +4,7 @@ Examples::
 
     python -m repro run --app lv --trace tweet --policy PARD --duration 60
     python -m repro compare --app tm --trace azure --duration 45
+    python -m repro sweep --apps lv,tm --policies PARD,Naive --workers 4
     python -m repro list
 """
 
@@ -16,29 +17,22 @@ from .experiments.configs import (
     APPS,
     SYSTEM_FACTORIES,
     TRACES,
+    known_policies,
+    make_policy,
     standard_config,
 )
 from .experiments.runner import run_experiment
+from .experiments.sweep import SweepEvent, run_sweep, summary_table, sweep_grid
 from .metrics.report import comparison_table, per_module_drop_table
 from .policies.ablations import ABLATIONS
 from .policies.base import DropPolicy
-from .policies.clipper import ClipperPlusPlusPolicy
-from .policies.naive import NaivePolicy
-from .policies.nexus import NexusPolicy
 
 
 def _make_policy(name: str, seed: int) -> DropPolicy:
-    builders = {
-        "Nexus": lambda: NexusPolicy(),
-        "Clipper++": lambda: ClipperPlusPlusPolicy(),
-        "Naive": lambda: NaivePolicy(),
-    }
-    if name in builders:
-        return builders[name]()
-    if name in ABLATIONS:
-        return ABLATIONS[name](seed=seed)
-    known = sorted(set(builders) | set(ABLATIONS))
-    raise SystemExit(f"unknown policy {name!r}; known: {', '.join(known)}")
+    try:
+        return make_policy(name, seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -95,6 +89,56 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(text: str) -> list[str]:
+    return [item for item in (s.strip() for s in text.split(",")) if item]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    apps = _csv(args.apps)
+    traces = _csv(args.traces)
+    policies = _csv(args.policies) or list(SYSTEM_FACTORIES)
+    try:
+        seeds = [int(s) for s in _csv(args.seeds)] or [0]
+    except ValueError:
+        raise SystemExit(
+            f"--seeds must be comma-separated integers, got {args.seeds!r}"
+        ) from None
+    if not apps or not traces:
+        raise SystemExit("empty sweep grid: --apps and --traces must be non-empty")
+    unknown = [p for p in policies if p not in known_policies()]
+    if unknown:
+        raise SystemExit(
+            f"unknown policies: {', '.join(unknown)}; "
+            f"known: {', '.join(known_policies())}"
+        )
+    overrides = dict(duration=args.duration, utilization=args.utilization,
+                     scaling=not args.no_scaling)
+    if args.slo is not None:
+        overrides["slo"] = args.slo
+    try:
+        cells = sweep_grid(apps, traces, policies, seeds=seeds, **overrides)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+    def progress(event: SweepEvent) -> None:
+        if not args.quiet and event.kind != "start":
+            status = {"cached": "cached", "done": "done", "error": "ERROR"}[event.kind]
+            print(f"[{event.index + 1}/{event.total}] {event.cell.label()}: "
+                  f"{status} ({event.elapsed:.1f}s)", file=sys.stderr)
+
+    results = run_sweep(
+        cells,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        on_event=progress,
+    )
+    print(summary_table(results, markdown=args.markdown))
+    failures = [r for r in results if not r.ok]
+    for r in failures:
+        print(f"\n--- {r.cell.label()} failed ---\n{r.error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("applications:", ", ".join(APPS))
     print("traces:      ", ", ".join(TRACES))
@@ -125,6 +169,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cmp.add_argument("--markdown", action="store_true")
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a grid of workloads across a process pool"
+    )
+    p_sweep.add_argument("--apps", default="lv",
+                         help="comma-separated applications")
+    p_sweep.add_argument("--traces", default="tweet",
+                         help="comma-separated traces")
+    p_sweep.add_argument("--policies", default="",
+                         help="comma-separated policies (default: the four systems)")
+    p_sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
+    p_sweep.add_argument("--duration", type=float, default=60.0,
+                         help="trace duration in simulated seconds")
+    p_sweep.add_argument("--utilization", type=float, default=0.9)
+    p_sweep.add_argument("--slo", type=float, default=None)
+    p_sweep.add_argument("--no-scaling", action="store_true")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: CPU count)")
+    p_sweep.add_argument("--cache-dir", default=".sweep_cache",
+                         help="on-disk result cache location")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="always recompute, never read or write the cache")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress on stderr")
+    p_sweep.add_argument("--markdown", action="store_true")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_list = sub.add_parser("list", help="list apps, traces and policies")
     p_list.set_defaults(fn=cmd_list)

@@ -1,6 +1,14 @@
 """Experiment harness reproducing the paper's evaluation."""
 
-from .configs import APPS, SYSTEM_FACTORIES, TRACES, all_workloads, standard_config
+from .configs import (
+    APPS,
+    SYSTEM_FACTORIES,
+    TRACES,
+    all_workloads,
+    known_policies,
+    make_policy,
+    standard_config,
+)
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -8,16 +16,36 @@ from .runner import (
     compare_policies,
     run_experiment,
 )
+from .sweep import (
+    CellResult,
+    SweepCell,
+    SweepEvent,
+    cell_fingerprint,
+    execute_cell,
+    run_sweep,
+    summary_table,
+    sweep_grid,
+)
 
 __all__ = [
     "APPS",
+    "CellResult",
     "ExperimentConfig",
     "ExperimentResult",
     "SYSTEM_FACTORIES",
+    "SweepCell",
+    "SweepEvent",
     "TRACES",
     "all_workloads",
     "build_cluster",
+    "cell_fingerprint",
     "compare_policies",
+    "execute_cell",
+    "known_policies",
+    "make_policy",
     "run_experiment",
+    "run_sweep",
     "standard_config",
+    "summary_table",
+    "sweep_grid",
 ]

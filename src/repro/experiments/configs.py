@@ -10,25 +10,21 @@ swings push modules in and out of overload exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Callable
-
-from ..policies.ablations import make_ablation
-from ..policies.base import DropPolicy
-from ..policies.clipper import ClipperPlusPlusPolicy
-from ..policies.naive import NaivePolicy
-from ..policies.nexus import NexusPolicy
+from ..policies.registry import SYSTEM_FACTORIES, known_policies, make_policy
 from .runner import ExperimentConfig
 
 APPS = ("lv", "tm", "gm", "da")
 TRACES = ("wiki", "tweet", "azure")
 
-#: The four systems compared throughout §5.2.
-SYSTEM_FACTORIES: dict[str, Callable[[int], DropPolicy]] = {
-    "PARD": lambda seed: make_ablation("PARD", seed=seed),
-    "Nexus": lambda seed: NexusPolicy(),
-    "Clipper++": lambda seed: ClipperPlusPlusPolicy(),
-    "Naive": lambda seed: NaivePolicy(),
-}
+__all__ = [
+    "APPS",
+    "SYSTEM_FACTORIES",
+    "TRACES",
+    "all_workloads",
+    "known_policies",
+    "make_policy",
+    "standard_config",
+]
 
 
 def standard_config(

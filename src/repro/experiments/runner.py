@@ -17,6 +17,7 @@ from ..metrics.collector import MetricsCollector
 from ..pipeline.applications import Application, get_application
 from ..pipeline.profiles import DEFAULT_PROFILES, ProfileRegistry
 from ..policies.base import DropPolicy
+from ..policies.registry import make_policy
 from ..simulation.batching import plan_batch_sizes, provision_workers
 from ..simulation.cluster import Cluster
 from ..simulation.engine import Simulator
@@ -164,9 +165,16 @@ def build_cluster(
 
 
 def run_experiment(
-    config: ExperimentConfig, policy: DropPolicy
+    config: ExperimentConfig, policy: DropPolicy | str
 ) -> ExperimentResult:
-    """Replay the configured trace through a freshly provisioned cluster."""
+    """Replay the configured trace through a freshly provisioned cluster.
+
+    ``policy`` may be a constructed :class:`DropPolicy` or a registered
+    policy name, in which case it is built seeded from ``config.seed`` —
+    the form sweep workers use, since names pickle and closures do not.
+    """
+    if isinstance(policy, str):
+        policy = make_policy(policy, config.seed)
     trace = config.resolve_trace()
     cluster = build_cluster(config, policy, trace)
     if config.scaling:
@@ -183,10 +191,14 @@ def run_experiment(
 
 
 def compare_policies(
-    config: ExperimentConfig, policies: dict[str, PolicyFactory]
+    config: ExperimentConfig, policies: dict[str, PolicyFactory | str]
 ) -> dict[str, ExperimentResult]:
-    """Run the same workload under several policies (fresh cluster each)."""
+    """Run the same workload under several policies (fresh cluster each).
+
+    Values may be seed-taking factories or registered policy names.
+    """
     results: dict[str, ExperimentResult] = {}
     for label, factory in policies.items():
-        results[label] = run_experiment(config, factory(config.seed))
+        policy = factory if isinstance(factory, str) else factory(config.seed)
+        results[label] = run_experiment(config, policy)
     return results

@@ -1,0 +1,384 @@
+"""Parallel experiment sweeps with deterministic seeding and result caching.
+
+The figure-reproduction benchmarks and the ``repro sweep`` CLI run grids of
+``(app, trace, policy, seed)`` cells.  Each cell is an independent
+simulation, so a sweep is embarrassingly parallel; this module fans cells
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping
+three properties the harness relies on:
+
+* **Determinism** — a cell is fully described by ``(ExperimentConfig,
+  policy name)``.  The policy is constructed *inside* the worker from its
+  name, seeded with ``config.seed``, and every random stream in the
+  simulator derives from that seed via :class:`~repro.simulation.rng.
+  RngStreams`.  Summaries are therefore bitwise-identical whether a cell
+  runs in-process, in a 2-worker pool or a 16-worker pool.
+* **Caching** — completed cells are stored on disk under a stable
+  fingerprint of the cell (config fields, profile registry contents,
+  policy name and the package version).  Re-running a sweep skips every
+  cell whose fingerprint is already cached.  Cells carrying custom
+  application/trace objects have no stable textual identity and are simply
+  never cached.
+* **Failure isolation** — a worker exception is captured as a
+  :class:`CellResult` with ``error`` set (full traceback text); the pool
+  keeps draining the remaining cells rather than hanging or aborting the
+  sweep.
+
+Results come back *slim*: summary, metrics collector and module ids, not
+the live cluster.  The cluster holds the event heap (closures — not
+picklable) and everything the benchmarks consume is in the collector.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..metrics.analysis import Summary
+from ..metrics.collector import MetricsCollector
+from .configs import standard_config
+from .runner import ExperimentConfig, run_experiment
+
+#: Fingerprint schema version; bump when the cached payload shape changes.
+_CACHE_SCHEMA = 1
+
+_source_digest_cache: str | None = None
+
+
+def _source_digest() -> str:
+    """Digest of the installed ``repro`` sources.
+
+    Folding this into every cell fingerprint means *any* code change —
+    not just a version bump — invalidates cached results, so the figure
+    benchmarks can never silently report numbers computed by old code.
+    """
+    global _source_digest_cache
+    if _source_digest_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            h.update(str(path.relative_to(package_root)).encode("utf-8"))
+            h.update(path.read_bytes())
+        _source_digest_cache = h.hexdigest()
+    return _source_digest_cache
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a config plus a registered policy name."""
+
+    config: ExperimentConfig
+    policy: str
+
+    def label(self) -> str:
+        c = self.config
+        return f"{c.app}-{c.trace}-{self.policy}-s{c.seed}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: metrics on success, a traceback on failure."""
+
+    cell: SweepCell
+    policy_name: str
+    summary: Summary | None
+    collector: MetricsCollector | None
+    module_ids: list[str]
+    elapsed: float
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """Progress notification delivered to ``run_sweep``'s ``on_event``."""
+
+    kind: str  # "start" | "cached" | "done" | "error"
+    index: int  # position of the cell in the input sequence
+    total: int
+    cell: SweepCell
+    elapsed: float = 0.0
+    error: str | None = None
+
+
+def sweep_grid(
+    apps: Sequence[str],
+    traces: Sequence[str],
+    policies: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    **config_overrides,
+) -> list[SweepCell]:
+    """The cross product of apps x traces x policies x seeds as cells.
+
+    ``config_overrides`` are forwarded to :func:`standard_config`
+    (``duration``, ``utilization``, ``slo``, ``scaling``, ...).
+    """
+    return [
+        SweepCell(
+            config=standard_config(app, trace, seed=seed, **config_overrides),
+            policy=policy,
+        )
+        for app in apps
+        for trace in traces
+        for policy in policies
+        for seed in seeds
+    ]
+
+
+def _registry_fingerprint(config: ExperimentConfig) -> list[list]:
+    return [
+        [p.name, p.base, p.per_item, p.max_batch]
+        for name in config.registry.names()
+        for p in [config.registry.get(name)]
+    ]
+
+
+def cell_fingerprint(cell: SweepCell) -> str | None:
+    """Stable hex digest identifying a cell's result, or ``None``.
+
+    ``None`` means the cell is not cacheable: custom application/trace
+    objects have no stable textual identity, so their cells always run.
+    """
+    config = cell.config
+    if config.custom_app is not None or config.custom_trace is not None:
+        return None
+    from .. import __version__  # deferred: repro/__init__ imports this module
+
+    payload: dict = {"schema": _CACHE_SCHEMA, "version": __version__,
+                     "source": _source_digest(), "policy": cell.policy}
+    for f in fields(config):
+        if f.name in ("custom_app", "custom_trace", "registry"):
+            continue
+        payload[f.name] = getattr(config, f.name)
+    payload["registry"] = _registry_fingerprint(config)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """On-disk pickle store of :class:`CellResult` keyed by fingerprint.
+
+    Entries live under a per-source-digest subdirectory.  A source edit
+    changes every fingerprint, so entries written by older code can never
+    hit again; grouping by digest lets :meth:`prune_stale` reclaim them
+    instead of letting the directory grow without bound.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.base = Path(root)
+        self.root = self.base / _source_digest()[:16]
+        self.prune_stale()
+
+    def prune_stale(self) -> None:
+        """Drop subdirectories written by source trees other than ours."""
+        if not self.base.is_dir():
+            return
+        for entry in self.base.iterdir():
+            # Only touch dirs that look like our digest buckets; anything
+            # else in the cache dir is not ours to delete.
+            if (entry.is_dir() and entry != self.root
+                    and len(entry.name) == 16
+                    and all(c in "0123456789abcdef" for c in entry.name)):
+                shutil.rmtree(entry, ignore_errors=True)
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.pkl"
+
+    def load(self, fingerprint: str) -> CellResult | None:
+        path = self._path(fingerprint)
+        if not path.is_file():
+            return None
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # A corrupt/truncated entry (killed run) must not poison the
+            # sweep; drop it and recompute.
+            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(result, CellResult):
+            path.unlink(missing_ok=True)
+            return None
+        result.cached = True
+        return result
+
+    def store(self, fingerprint: str, result: CellResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        # A per-writer temp name keeps concurrent sweeps sharing one cache
+        # dir from interleaving writes; the rename is atomic vs readers.
+        with tempfile.NamedTemporaryFile(
+            dir=self.root, suffix=".tmp", delete=False
+        ) as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp = Path(fh.name)
+        tmp.replace(self._path(fingerprint))
+
+
+def execute_cell(cell: SweepCell) -> CellResult:
+    """Run one cell to completion, never raising.
+
+    This is the worker entry point — module-level so it pickles — and also
+    the serial path, so both executions share one code path and one seeding
+    discipline.
+    """
+    t0 = time.perf_counter()
+    try:
+        result = run_experiment(cell.config, cell.policy)
+        return CellResult(
+            cell=cell,
+            policy_name=result.policy_name,
+            summary=result.summary,
+            collector=result.collector,
+            module_ids=list(result.module_ids),
+            elapsed=time.perf_counter() - t0,
+        )
+    except Exception:
+        return CellResult(
+            cell=cell,
+            policy_name=cell.policy,
+            summary=None,
+            collector=None,
+            module_ids=[],
+            elapsed=time.perf_counter() - t0,
+            error=traceback.format_exc(),
+        )
+
+
+def _emit(on_event: Callable[[SweepEvent], None] | None, event: SweepEvent) -> None:
+    if on_event is not None:
+        on_event(event)
+
+
+def _result_event(index: int, total: int, result: CellResult) -> SweepEvent:
+    return SweepEvent(
+        kind="done" if result.ok else "error",
+        index=index,
+        total=total,
+        cell=result.cell,
+        elapsed=result.elapsed,
+        error=result.error,
+    )
+
+
+def run_sweep(
+    cells: Iterable[SweepCell],
+    workers: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    on_event: Callable[[SweepEvent], None] | None = None,
+) -> list[CellResult]:
+    """Execute every cell, in parallel when ``workers > 1``.
+
+    Results are returned in input order.  ``workers=None`` uses the
+    machine's CPU count (capped at the number of cells); ``workers<=1``
+    runs serially in-process, which is also the reference path parallel
+    runs must match bit-for-bit.  When ``cache_dir`` is set, cached cells
+    are returned without running and fresh successes are stored back.
+    """
+    cells = list(cells)
+    total = len(cells)
+    if total == 0:
+        return []
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, total))
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+
+    results: list[CellResult | None] = [None] * total
+    fingerprints: list[str | None] = [None] * total
+    pending: list[int] = []
+    for i, cell in enumerate(cells):
+        fingerprints[i] = cell_fingerprint(cell) if cache else None
+        hit = cache.load(fingerprints[i]) if cache and fingerprints[i] else None
+        if hit is not None:
+            results[i] = hit
+            _emit(on_event, SweepEvent("cached", i, total, cell))
+        else:
+            pending.append(i)
+
+    if workers == 1 or len(pending) <= 1:
+        for i in pending:
+            _emit(on_event, SweepEvent("start", i, total, cells[i]))
+            result = execute_cell(cells[i])
+            results[i] = result
+            _emit(on_event, _result_event(i, total, result))
+            if cache and fingerprints[i] and result.ok:
+                cache.store(fingerprints[i], result)
+        return [r for r in results if r is not None]
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures: dict[Future, int] = {}
+        for i in pending:
+            _emit(on_event, SweepEvent("start", i, total, cells[i]))
+            futures[pool.submit(execute_cell, cells[i])] = i
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i = futures[fut]
+                exc = fut.exception()
+                if exc is not None:
+                    # The worker itself never raises, so this is pool-level
+                    # trouble (a killed worker, unpicklable payload).  Record
+                    # it on the cell and keep draining the rest.
+                    result = CellResult(
+                        cell=cells[i],
+                        policy_name=cells[i].policy,
+                        summary=None,
+                        collector=None,
+                        module_ids=[],
+                        elapsed=0.0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    result = fut.result()
+                results[i] = result
+                _emit(on_event, _result_event(i, total, result))
+                if cache and fingerprints[i] and result.ok:
+                    cache.store(fingerprints[i], result)
+    return [r for r in results if r is not None]
+
+
+def summary_table(results: Sequence[CellResult], markdown: bool = False) -> str:
+    """Render sweep results as an aligned text (or markdown) table."""
+    header = ["cell", "status", "goodput/s", "drop", "invalid", "time"]
+    rows: list[list[str]] = []
+    for r in results:
+        if r.ok and r.summary is not None:
+            s = r.summary
+            rows.append([
+                r.cell.label(),
+                "cached" if r.cached else "ok",
+                f"{s.goodput:.1f}",
+                f"{s.drop_rate:.2%}",
+                f"{s.invalid_rate:.2%}",
+                f"{r.elapsed:.1f}s",
+            ])
+        else:
+            first_line = (r.error or "").strip().splitlines()[-1:] or ["?"]
+            rows.append([r.cell.label(), "ERROR", "-", "-", "-", first_line[0][:40]])
+    widths = [max(len(header[c]), *(len(row[c]) for row in rows))
+              for c in range(len(header))] if rows else [len(h) for h in header]
+    sep = " | " if markdown else "  "
+
+    def fmt(row: list[str]) -> str:
+        line = sep.join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        return f"| {line} |" if markdown else line
+
+    lines = [fmt(header)]
+    if markdown:
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

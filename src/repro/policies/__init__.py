@@ -6,10 +6,12 @@ from .clipper import ClipperPlusPlusPolicy
 from .naive import NaivePolicy
 from .nexus import NexusPolicy
 from .overload_control import OverloadControlPolicy
+from .registry import SYSTEM_FACTORIES, known_policies, make_policy
 
 __all__ = [
     "ABLATIONS",
     "ClipperPlusPlusPolicy",
+    "SYSTEM_FACTORIES",
     "DropContext",
     "DropPolicy",
     "FifoQueue",
@@ -17,5 +19,7 @@ __all__ = [
     "NexusPolicy",
     "OverloadControlPolicy",
     "RequestQueue",
+    "known_policies",
     "make_ablation",
+    "make_policy",
 ]

@@ -1,0 +1,42 @@
+"""Name -> policy construction shared by the CLI, configs and sweep workers.
+
+Policies are constructed from *names* rather than passing factory callables
+around because sweep worker processes receive their work unit by pickle:
+a string survives the trip, a closure does not.  Every constructor here is
+seeded from the experiment seed so a sweep cell is fully determined by
+``(config, policy name)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .ablations import ABLATIONS, make_ablation
+from .base import DropPolicy
+from .clipper import ClipperPlusPlusPolicy
+from .naive import NaivePolicy
+from .nexus import NexusPolicy
+
+#: The four systems compared throughout §5.2.
+SYSTEM_FACTORIES: dict[str, Callable[[int], DropPolicy]] = {
+    "PARD": lambda seed: make_ablation("PARD", seed=seed),
+    "Nexus": lambda seed: NexusPolicy(),
+    "Clipper++": lambda seed: ClipperPlusPlusPolicy(),
+    "Naive": lambda seed: NaivePolicy(),
+}
+
+
+def known_policies() -> list[str]:
+    """All constructible policy names (systems + ablations)."""
+    return sorted(set(SYSTEM_FACTORIES) | set(ABLATIONS))
+
+
+def make_policy(name: str, seed: int = 0) -> DropPolicy:
+    """Construct the named policy, seeded for deterministic replay."""
+    if name in SYSTEM_FACTORIES:
+        return SYSTEM_FACTORIES[name](seed)
+    if name in ABLATIONS:
+        return ABLATIONS[name](seed=seed)
+    raise ValueError(
+        f"unknown policy {name!r}; known: {', '.join(known_policies())}"
+    )

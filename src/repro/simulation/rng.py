@@ -14,7 +14,7 @@ import hashlib
 import numpy as np
 
 
-def _stable_hash(name: str) -> int:
+def stable_hash(name: str) -> int:
     """A process-independent 64-bit hash of ``name`` (``hash()`` is salted)."""
     digest = hashlib.sha256(name.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
@@ -40,11 +40,11 @@ class RngStreams:
         """Return the generator for ``name`` (created on first use)."""
         gen = self._streams.get(name)
         if gen is None:
-            seq = np.random.SeedSequence([self.seed, _stable_hash(name)])
+            seq = np.random.SeedSequence([self.seed, stable_hash(name)])
             gen = np.random.default_rng(seq)
             self._streams[name] = gen
         return gen
 
     def spawn(self, name: str) -> "RngStreams":
         """Derive a child factory whose streams are independent of ours."""
-        return RngStreams(seed=(self.seed * 1_000_003 + _stable_hash(name)) % 2**63)
+        return RngStreams(seed=(self.seed * 1_000_003 + stable_hash(name)) % 2**63)

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..simulation.rng import stable_hash
+
 
 @dataclass(frozen=True)
 class Trace:
@@ -85,7 +87,10 @@ class Trace:
                 "rate up-scaling must be done at generation time; "
                 "Trace.scaled only supports thinning (factor <= 1)"
             )
-        rng = np.random.default_rng(abs(hash(self.name)) % 2**32)
+        # hash() is salted per process (PYTHONHASHSEED), which would make
+        # thinning non-deterministic across sweep worker processes; derive
+        # the seed from a stable digest of the name instead.
+        rng = np.random.default_rng(stable_hash(self.name) % 2**32)
         keep = rng.random(len(self)) < factor
         return Trace(
             name=f"{self.name}x{factor:g}",

@@ -1,0 +1,1 @@
+"""Package marker so relative conftest imports resolve under pytest."""

@@ -1,0 +1,180 @@
+"""Tests for the parallel sweep subsystem."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sweep import (
+    CellResult,
+    SweepCell,
+    cell_fingerprint,
+    execute_cell,
+    run_sweep,
+    summary_table,
+    sweep_grid,
+)
+from repro.workload.generators import constant_trace
+
+
+def tiny_cells(policies=("Naive", "Nexus"), seeds=(0,)) -> list[SweepCell]:
+    """Small fixed-worker cells that simulate in well under a second."""
+    return [
+        SweepCell(
+            config=ExperimentConfig(
+                app="tm", trace="tweet", base_rate=25, duration=4.0,
+                workers=2, seed=seed,
+            ),
+            policy=policy,
+        )
+        for policy in policies
+        for seed in seeds
+    ]
+
+
+class TestGrid:
+    def test_cross_product(self):
+        cells = sweep_grid(
+            ["lv", "tm"], ["tweet"], ["PARD", "Naive"], seeds=[0, 1],
+            duration=5.0,
+        )
+        assert len(cells) == 2 * 1 * 2 * 2
+        labels = {c.label() for c in cells}
+        assert "lv-tweet-PARD-s0" in labels
+        assert "tm-tweet-Naive-s1" in labels
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_grid(["bogus"], ["tweet"], ["Naive"])
+
+
+class TestFingerprint:
+    def test_stable_and_seed_sensitive(self):
+        a0 = cell_fingerprint(tiny_cells(seeds=(0,))[0])
+        a0_again = cell_fingerprint(tiny_cells(seeds=(0,))[0])
+        a1 = cell_fingerprint(tiny_cells(seeds=(1,))[0])
+        assert a0 == a0_again
+        assert a0 != a1
+
+    def test_policy_sensitive(self):
+        naive, nexus = tiny_cells(policies=("Naive", "Nexus"))
+        assert cell_fingerprint(naive) != cell_fingerprint(nexus)
+
+    def test_custom_objects_uncacheable(self):
+        cell = SweepCell(
+            config=ExperimentConfig(
+                app="tm", trace="tweet", workers=1,
+                custom_trace=constant_trace(10.0, 2.0),
+            ),
+            policy="Naive",
+        )
+        assert cell_fingerprint(cell) is None
+
+
+class TestDeterminism:
+    def test_serial_matches_two_and_four_workers(self):
+        cells = tiny_cells(policies=("Naive", "Nexus"), seeds=(0, 1))
+        serial = run_sweep(cells, workers=1)
+        two = run_sweep(cells, workers=2)
+        four = run_sweep(cells, workers=4)
+        assert all(r.ok for r in serial + two + four), [
+            r.error for r in serial + two + four if not r.ok
+        ]
+        for a, b, c in zip(serial, two, four):
+            assert a.summary == b.summary == c.summary
+            assert a.cell.label() == b.cell.label() == c.cell.label()
+
+    def test_cell_is_picklable(self):
+        cell = tiny_cells()[0]
+        assert pickle.loads(pickle.dumps(cell)).policy == cell.policy
+
+
+class TestCache:
+    def test_second_run_hits_cache(self, tmp_path):
+        cells = tiny_cells()
+        first = run_sweep(cells, workers=1, cache_dir=tmp_path)
+        second = run_sweep(cells, workers=1, cache_dir=tmp_path)
+        assert all(not r.cached for r in first)
+        assert all(r.cached for r in second)
+        for a, b in zip(first, second):
+            assert a.summary == b.summary
+        assert len(list(tmp_path.rglob("*.pkl"))) == len(cells)
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cells = tiny_cells(policies=("Naive",))
+        run_sweep(cells, workers=1, cache_dir=tmp_path)
+        entry = next(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"garbage")
+        again = run_sweep(cells, workers=1, cache_dir=tmp_path)
+        assert again[0].ok and not again[0].cached
+
+    def test_stale_source_buckets_pruned(self, tmp_path):
+        stale = tmp_path / ("0" * 16)
+        stale.mkdir()
+        (stale / "dead.pkl").write_bytes(b"old")
+        unrelated = tmp_path / "keep.txt"
+        unrelated.write_text("mine")
+        run_sweep(tiny_cells(policies=("Naive",)), workers=1,
+                  cache_dir=tmp_path)
+        assert not stale.exists()
+        assert unrelated.exists()
+
+    def test_events_report_cache_hits(self, tmp_path):
+        cells = tiny_cells(policies=("Naive",))
+        run_sweep(cells, workers=1, cache_dir=tmp_path)
+        kinds = []
+        run_sweep(cells, workers=1, cache_dir=tmp_path,
+                  on_event=lambda e: kinds.append(e.kind))
+        assert kinds == ["cached"]
+
+
+class TestFailureIsolation:
+    def test_bad_policy_surfaces_without_hanging(self):
+        cells = tiny_cells(policies=("Naive", "NoSuchPolicy", "Nexus"))
+        results = run_sweep(cells, workers=2)
+        by_policy = {r.cell.policy: r for r in results}
+        assert by_policy["Naive"].ok
+        assert by_policy["Nexus"].ok
+        failed = by_policy["NoSuchPolicy"]
+        assert not failed.ok
+        assert "NoSuchPolicy" in failed.error
+        assert failed.summary is None
+
+    def test_execute_cell_never_raises(self):
+        cell = SweepCell(
+            config=ExperimentConfig(app="tm", trace="tweet", workers=1),
+            policy="NoSuchPolicy",
+        )
+        result = execute_cell(cell)
+        assert isinstance(result, CellResult)
+        assert not result.ok
+
+    def test_failures_not_cached(self, tmp_path):
+        cells = tiny_cells(policies=("NoSuchPolicy",))
+        run_sweep(cells, workers=1, cache_dir=tmp_path)
+        assert list(tmp_path.rglob("*.pkl")) == []
+        again = run_sweep(cells, workers=1, cache_dir=tmp_path)
+        assert not again[0].cached and not again[0].ok
+
+
+class TestEventsAndTable:
+    def test_events_cover_every_cell(self):
+        cells = tiny_cells(policies=("Naive", "Nexus"))
+        events = []
+        run_sweep(cells, workers=2, on_event=events.append)
+        starts = [e for e in events if e.kind == "start"]
+        dones = [e for e in events if e.kind == "done"]
+        assert len(starts) == len(cells)
+        assert len(dones) == len(cells)
+        assert all(e.total == len(cells) for e in events)
+
+    def test_summary_table_renders_errors_and_successes(self):
+        results = run_sweep(tiny_cells(policies=("Naive", "NoSuchPolicy")),
+                            workers=1)
+        table = summary_table(results)
+        assert "tm-tweet-Naive-s0" in table
+        assert "ERROR" in table
+        md = summary_table(results, markdown=True)
+        assert md.splitlines()[1].startswith("|-")

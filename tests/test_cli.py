@@ -65,3 +65,23 @@ class TestRunCommands:
             "--policy", "PARD", "--slo", "0.3", "--no-scaling",
         ])
         assert rc == 0
+
+
+class TestSweepCommand:
+    def test_sweep_tiny_grid(self, capsys, tmp_path):
+        args = [
+            "sweep", "--apps", "tm", "--traces", "tweet",
+            "--policies", "Naive,Nexus", "--duration", "5", "--no-scaling",
+            "--workers", "2", "--cache-dir", str(tmp_path), "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "tm-tweet-Naive-s0" in out and "tm-tweet-Nexus-s0" in out
+        # Re-running the identical grid is served from the on-disk cache.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") == 2
+
+    def test_sweep_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policies", "NoSuchPolicy", "--duration", "5"])
