@@ -16,7 +16,7 @@ from repro.metrics import (
     min_normalized_goodput,
 )
 
-from .conftest import fmt_pct, run_workload
+from .conftest import fmt_pct
 
 WINDOWS = (5.0, 10.0, 25.0)
 SYSTEMS = ("PARD", "Nexus", "Clipper++", "Naive")

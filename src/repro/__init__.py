@@ -27,10 +27,15 @@ from .core import (
     WaitMode,
 )
 from .experiments import (
+    AppSpec,
     ExperimentConfig,
     ExperimentResult,
+    Scenario,
+    ScalingSpec,
+    TraceSpec,
     compare_policies,
     run_experiment,
+    run_scenario,
     standard_config,
 )
 from .metrics import MetricsCollector, Summary, summarize
@@ -49,6 +54,7 @@ from .workload import Trace, get_trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "AppSpec",
     "Application",
     "BatchWaitEstimator",
     "BudgetMode",
@@ -67,17 +73,21 @@ __all__ = [
     "PipelineSpec",
     "PriorityMode",
     "Request",
+    "Scenario",
+    "ScalingSpec",
     "Simulator",
     "StatePlanner",
     "SubMode",
     "Summary",
     "Trace",
+    "TraceSpec",
     "WaitMode",
     "compare_policies",
     "get_application",
     "get_trace",
     "make_ablation",
     "run_experiment",
+    "run_scenario",
     "standard_config",
     "summarize",
     "__version__",

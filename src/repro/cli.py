@@ -5,6 +5,9 @@ Examples::
     python -m repro run --app lv --trace tweet --policy PARD --duration 60
     python -m repro compare --app tm --trace azure --duration 45
     python -m repro sweep --apps lv,tm --policies PARD,Naive --workers 4
+    python -m repro scenario run --file scenario.json
+    python -m repro scenario sweep --file scenario.json --policies PARD,Naive \
+        --seeds 0,1,2 --workers 4
     python -m repro list
 """
 
@@ -14,18 +17,26 @@ import argparse
 import sys
 
 from .experiments.configs import (
-    APPS,
     SYSTEM_FACTORIES,
-    TRACES,
     known_policies,
     make_policy,
     standard_config,
 )
-from .experiments.runner import run_experiment
-from .experiments.sweep import SweepEvent, run_sweep, summary_table, sweep_grid
+from .experiments.runner import run_experiment, run_scenario
+from .experiments.scenario import Scenario, scenario_grid
+from .experiments.sweep import (
+    SweepEvent,
+    prune_cache,
+    run_sweep,
+    scenario_cells,
+    summary_table,
+    sweep_grid,
+)
 from .metrics.report import comparison_table, per_module_drop_table
+from .pipeline.applications import known_applications
 from .policies.ablations import ABLATIONS
 from .policies.base import DropPolicy
+from .workload.generators import known_traces
 
 
 def _make_policy(name: str, seed: int) -> DropPolicy:
@@ -36,8 +47,10 @@ def _make_policy(name: str, seed: int) -> DropPolicy:
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--app", choices=APPS, default="lv")
-    p.add_argument("--trace", choices=TRACES, default="tweet")
+    # Choices come from the registries so everything `repro list` shows is
+    # accepted; APPS/TRACES remain the paper's canonical grid.
+    p.add_argument("--app", choices=known_applications(), default="lv")
+    p.add_argument("--trace", choices=known_traces(), default="tweet")
     p.add_argument("--duration", type=float, default=60.0,
                    help="trace duration in simulated seconds")
     p.add_argument("--seed", type=int, default=0)
@@ -93,24 +106,32 @@ def _csv(text: str) -> list[str]:
     return [item for item in (s.strip() for s in text.split(",")) if item]
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    apps = _csv(args.apps)
-    traces = _csv(args.traces)
-    policies = _csv(args.policies) or list(SYSTEM_FACTORIES)
+def _parse_seeds(text: str) -> list[int]:
     try:
-        seeds = [int(s) for s in _csv(args.seeds)] or [0]
+        return [int(s) for s in _csv(text)]
     except ValueError:
         raise SystemExit(
-            f"--seeds must be comma-separated integers, got {args.seeds!r}"
+            f"--seeds must be comma-separated integers, got {text!r}"
         ) from None
-    if not apps or not traces:
-        raise SystemExit("empty sweep grid: --apps and --traces must be non-empty")
+
+
+def _check_policies(policies: list[str]) -> None:
     unknown = [p for p in policies if p not in known_policies()]
     if unknown:
         raise SystemExit(
             f"unknown policies: {', '.join(unknown)}; "
             f"known: {', '.join(known_policies())}"
         )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    apps = _csv(args.apps)
+    traces = _csv(args.traces)
+    policies = _csv(args.policies) or list(SYSTEM_FACTORIES)
+    seeds = _parse_seeds(args.seeds) or [0]
+    if not apps or not traces:
+        raise SystemExit("empty sweep grid: --apps and --traces must be non-empty")
+    _check_policies(policies)
     overrides = dict(duration=args.duration, utilization=args.utilization,
                      scaling=not args.no_scaling)
     if args.slo is not None:
@@ -119,6 +140,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cells = sweep_grid(apps, traces, policies, seeds=seeds, **overrides)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    return _run_cells(cells, args)
+
+
+def _run_cells(cells, args: argparse.Namespace) -> int:
+    """Shared sweep execution/reporting for grid and scenario sweeps."""
 
     def progress(event: SweepEvent) -> None:
         if not args.quiet and event.kind != "start":
@@ -126,12 +152,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"[{event.index + 1}/{event.total}] {event.cell.label()}: "
                   f"{status} ({event.elapsed:.1f}s)", file=sys.stderr)
 
+    cache_dir = None if args.no_cache else args.cache_dir
     results = run_sweep(
         cells,
         workers=args.workers,
-        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_dir=cache_dir,
         on_event=progress,
     )
+    if args.max_cache_mb is not None:
+        # Prune against the configured directory even under --no-cache:
+        # the budget bounds what is on disk, not what this run wrote.
+        freed = prune_cache(args.cache_dir,
+                            int(args.max_cache_mb * 1024 * 1024))
+        if freed and not args.quiet:
+            print(
+                f"pruned {freed / (1024 * 1024):.1f} MiB from "
+                f"{args.cache_dir}",
+                file=sys.stderr,
+            )
     print(summary_table(results, markdown=args.markdown))
     failures = [r for r in results if not r.ok]
     for r in failures:
@@ -139,9 +177,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _load_scenario(path: str) -> Scenario:
+    try:
+        return Scenario.from_file(path).validate()
+    except FileNotFoundError:
+        raise SystemExit(f"scenario file not found: {path}") from None
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        raise SystemExit(f"invalid scenario file {path}: {exc}") from None
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args.file)
+    result = run_scenario(scenario)
+    trace = result.trace
+    print(f"scenario {scenario.label()}: trace {trace.name} "
+          f"({trace.mean_rate:.0f} req/s mean, {trace.duration:.0f}s)")
+    print(comparison_table({result.policy_name: result},
+                           markdown=args.markdown))
+    print()
+    print(per_module_drop_table({result.policy_name: result},
+                                markdown=args.markdown))
+    for line in result.failure_log:
+        print(f"  {line}")
+    return 0
+
+
+def cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args.file)
+    policies = _csv(args.policies)
+    _check_policies(policies)
+    seeds = _parse_seeds(args.seeds)
+    cells = scenario_cells(scenario_grid(scenario, policies=policies,
+                                         seeds=seeds))
+    return _run_cells(cells, args)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
-    print("applications:", ", ".join(APPS))
-    print("traces:      ", ", ".join(TRACES))
+    print("applications:", ", ".join(known_applications()))
+    print("traces:      ", ", ".join(known_traces()))
     print("systems:     ", ", ".join(SYSTEM_FACTORIES))
     print("ablations:   ", ", ".join(sorted(ABLATIONS)))
     return 0
@@ -185,20 +258,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--utilization", type=float, default=0.9)
     p_sweep.add_argument("--slo", type=float, default=None)
     p_sweep.add_argument("--no-scaling", action="store_true")
-    p_sweep.add_argument("--workers", type=int, default=None,
-                         help="process-pool size (default: CPU count)")
-    p_sweep.add_argument("--cache-dir", default=".sweep_cache",
-                         help="on-disk result cache location")
-    p_sweep.add_argument("--no-cache", action="store_true",
-                         help="always recompute, never read or write the cache")
-    p_sweep.add_argument("--quiet", action="store_true",
-                         help="suppress per-cell progress on stderr")
-    p_sweep.add_argument("--markdown", action="store_true")
+    _add_sweep_exec_args(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
-    p_list = sub.add_parser("list", help="list apps, traces and policies")
+    p_scn = sub.add_parser(
+        "scenario",
+        help="run or sweep a declarative scenario file (JSON)",
+    )
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+
+    p_scn_run = scn_sub.add_parser("run", help="run one scenario in-process")
+    p_scn_run.add_argument("--file", required=True,
+                           help="path to a scenario JSON file")
+    p_scn_run.add_argument("--markdown", action="store_true")
+    p_scn_run.set_defaults(fn=cmd_scenario_run)
+
+    p_scn_sweep = scn_sub.add_parser(
+        "sweep", help="sweep one scenario over policies x seeds"
+    )
+    p_scn_sweep.add_argument("--file", required=True,
+                             help="path to a scenario JSON file")
+    p_scn_sweep.add_argument(
+        "--policies", default="",
+        help="comma-separated policies (default: the scenario's own)",
+    )
+    p_scn_sweep.add_argument(
+        "--seeds", default="",
+        help="comma-separated seeds (default: the scenario's own)",
+    )
+    _add_sweep_exec_args(p_scn_sweep)
+    p_scn_sweep.set_defaults(fn=cmd_scenario_sweep)
+
+    p_list = sub.add_parser(
+        "list", help="list registered applications, traces and policies"
+    )
     p_list.set_defaults(fn=cmd_list)
     return parser
+
+
+def _nonnegative_mb(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _add_sweep_exec_args(p: argparse.ArgumentParser) -> None:
+    """Pool/cache/reporting flags shared by grid and scenario sweeps."""
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: CPU count)")
+    p.add_argument("--cache-dir", default=".sweep_cache",
+                   help="on-disk result cache location")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always recompute, never read or write the cache")
+    p.add_argument("--max-cache-mb", type=_nonnegative_mb, default=None,
+                   help="prune oldest cache entries beyond this size after "
+                        "the sweep")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress on stderr")
+    p.add_argument("--markdown", action="store_true")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -10,9 +10,14 @@ swings push modules in and out of overload exactly as in the paper.
 
 from __future__ import annotations
 
+from ..pipeline.applications import known_applications
 from ..policies.registry import SYSTEM_FACTORIES, known_policies, make_policy
+from ..workload.generators import known_traces
 from .runner import ExperimentConfig
 
+#: The paper's own evaluation grid (the cross product is its 12 workloads).
+#: Registries may hold more — ``standard_config`` accepts anything
+#: registered; these tuples stay the canonical paper sets.
 APPS = ("lv", "tm", "gm", "da")
 TRACES = ("wiki", "tweet", "azure")
 
@@ -41,10 +46,14 @@ def standard_config(
     azure's spikes) genuinely exceed capacity — the regime where dropping
     policies differentiate.
     """
-    if app not in APPS:
-        raise ValueError(f"unknown app {app!r}; expected one of {APPS}")
-    if trace not in TRACES:
-        raise ValueError(f"unknown trace {trace!r}; expected one of {TRACES}")
+    if app not in known_applications():
+        raise ValueError(
+            f"unknown app {app!r}; expected one of {known_applications()}"
+        )
+    if trace not in known_traces():
+        raise ValueError(
+            f"unknown trace {trace!r}; expected one of {known_traces()}"
+        )
     overrides.setdefault("utilization", 0.9)
     # The paper's testbed scales workers with the request rate (§5.1);
     # cold starts during bursts are part of the regime being reproduced.

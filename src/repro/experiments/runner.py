@@ -9,8 +9,9 @@ dropping policies react to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass, field, fields
+from functools import lru_cache
+from typing import Callable, Sequence
 
 from ..metrics.analysis import Summary, summarize
 from ..metrics.collector import MetricsCollector
@@ -21,13 +22,44 @@ from ..policies.registry import make_policy
 from ..simulation.batching import plan_batch_sizes, provision_workers
 from ..simulation.cluster import Cluster
 from ..simulation.engine import Simulator
+from ..simulation.failures import FailureEvent, FailureInjector
 from ..simulation.rng import RngStreams
 from ..simulation.scaling import ReactiveScaler
-from ..workload.generators import get_trace
+from ..workload.generators import TRACES, get_trace
 from ..workload.replay import replay
 from ..workload.trace import Trace
+from .scenario import Scenario, ScalingSpec, _thaw, freeze_trace_args
 
 PolicyFactory = Callable[[int], DropPolicy]
+
+
+@lru_cache(maxsize=256)
+def _trace_shape_factor(
+    generator: Callable[..., Trace],
+    trace: str,
+    duration: float,
+    seed: int,
+    args: tuple = (),
+) -> float:
+    """Mean-rate-to-base-rate factor of a named trace, memoized.
+
+    Measured on a cheap pilot trace built with the same generator ``args``
+    as the real one — shape-changing args (a step trace's rate multipliers,
+    a tweet burst override) would otherwise skew calibration badly.
+    The generator *object* is part of the key so re-registering a new
+    generator under an old name cannot serve a stale shape.  Calibrated
+    configs consult the shape from ``resolve_workers``,
+    ``resolve_base_rate`` *and* ``resolve_trace``; without memoization
+    every call re-simulated the full-duration pilot.
+    """
+    kwargs = {k: _thaw(v) for k, v in args}
+    pilot = generator(
+        base_rate=50.0, duration=duration, seed=seed, name=trace, **kwargs
+    )
+    shape = pilot.mean_rate / 50.0
+    if shape <= 0:
+        raise ValueError(f"trace {trace!r} produced no arrivals")
+    return shape
 
 
 @dataclass
@@ -48,9 +80,18 @@ class ExperimentConfig:
     stats_window: float = 5.0
     drain: float = 5.0
     scaling: bool = False  # enable the reactive scaler with cold starts
+    trace_args: tuple = ()  # frozen (key, value) generator kwargs
+    trace_scale: float = 1.0  # post-generation thinning factor (<= 1)
+    trace_seed: int | None = None  # pin the workload seed (default: seed)
     custom_app: Application | None = None
     custom_trace: Trace | None = None
     registry: ProfileRegistry = field(default_factory=lambda: DEFAULT_PROFILES)
+
+    def __post_init__(self) -> None:
+        # Normalize generator kwargs to hashable frozen pairs: the memoized
+        # pilot-shape lookup keys on them, and users naturally pass dicts
+        # or list-valued args (a step trace's rates).
+        self.trace_args = freeze_trace_args(self.trace_args)
 
     def resolve_app(self) -> Application:
         app = self.custom_app or get_application(self.app)
@@ -61,13 +102,25 @@ class ExperimentConfig:
     def resolve_trace(self) -> Trace:
         if self.custom_trace is not None:
             return self.custom_trace
-        return get_trace(
+        trace = get_trace(
             self.trace, base_rate=self.resolve_base_rate(),
-            duration=self.duration, seed=self.seed,
+            duration=self.duration, seed=self._trace_seed(),
+            **{k: _thaw(v) for k, v in self.trace_args},
         )
+        if self.trace_scale != 1.0:
+            trace = trace.scaled(self.trace_scale)
+        return trace
 
-    def resolve_workers(self) -> int | dict[str, int]:
-        """Explicit worker counts, or a plan provisioned for the trace."""
+    def _trace_seed(self) -> int:
+        return self.seed if self.trace_seed is None else self.trace_seed
+
+    def resolve_workers(self, trace: Trace | None = None) -> int | dict[str, int]:
+        """Explicit worker counts, or a plan provisioned for the trace.
+
+        ``trace`` lets callers that already built the (possibly composed)
+        trace provision for its actual mean rate instead of regenerating
+        the named base trace.
+        """
         if self.workers is not None:
             return self.workers
         app = self.resolve_app()
@@ -86,7 +139,9 @@ class ExperimentConfig:
                 need = mean_rate / (0.97 * per_worker)
                 out[m.id] = max(1, int(need) + (0 if need == int(need) else 1))
             return out
-        rate = self.provision_rate or self.resolve_trace().mean_rate
+        if trace is None:
+            trace = self.resolve_trace()
+        rate = self.provision_rate or trace.mean_rate
         return provision_workers(
             app.spec, self.registry, plan, rate, headroom=self.provision_headroom
         )
@@ -102,26 +157,41 @@ class ExperimentConfig:
             return self.base_rate
         app = self.resolve_app()
         plan = plan_batch_sizes(app.spec, self.registry, app.slo)
-        workers = self.workers if isinstance(self.workers, dict) else None
+
+        def count(module_id: str) -> int:
+            # Explicit worker counts cap capacity; without any, calibration
+            # assumes the two-worker bottleneck pool resolve_workers builds.
+            if isinstance(self.workers, dict):
+                return self.workers[module_id]
+            if isinstance(self.workers, int):
+                return self.workers
+            return 2
+
         capacity = min(
-            (workers[m.id] if workers else 2)
-            * self.registry.get(m.model).throughput(plan[m.id])
+            count(m.id) * self.registry.get(m.model).throughput(plan[m.id])
             for m in app.spec.modules
         )
         shape = self._trace_shape()
         return capacity * self.utilization / shape
 
     def _trace_shape(self) -> float:
-        """Mean-rate-to-base-rate factor of the configured trace."""
+        """Mean-rate-to-base-rate factor of the configured trace.
+
+        Thinning scales the realized mean rate linearly, so it folds
+        straight into the shape factor — calibration then targets the
+        utilization of the trace actually replayed.
+        """
         if self.custom_trace is not None:
             return 1.0
-        pilot = get_trace(
-            self.trace, base_rate=50.0, duration=self.duration, seed=self.seed
+        generator = TRACES.get(self.trace)
+        if generator is None:
+            raise KeyError(
+                f"unknown trace {self.trace!r}; known: {sorted(TRACES)}"
+            )
+        return self.trace_scale * _trace_shape_factor(
+            generator, self.trace, self.duration, self._trace_seed(),
+            self.trace_args,
         )
-        shape = pilot.mean_rate / 50.0
-        if shape <= 0:
-            raise ValueError(f"trace {self.trace!r} produced no arrivals")
-        return shape
 
 
 @dataclass
@@ -134,6 +204,7 @@ class ExperimentResult:
     summary: Summary
     cluster: Cluster
     trace: Trace
+    failure_log: list[str] = field(default_factory=list)
 
     @property
     def module_ids(self) -> list[str]:
@@ -149,7 +220,7 @@ def build_cluster(
     app = config.resolve_app()
     trace = trace or config.resolve_trace()
     plan = plan_batch_sizes(app.spec, config.registry, app.slo)
-    workers = config.resolve_workers()
+    workers = config.resolve_workers(trace)
     sim = Simulator()
     return Cluster(
         sim=sim,
@@ -165,20 +236,38 @@ def build_cluster(
 
 
 def run_experiment(
-    config: ExperimentConfig, policy: DropPolicy | str
+    config: ExperimentConfig,
+    policy: DropPolicy | str,
+    failures: Sequence[FailureEvent] = (),
+    scaling: ScalingSpec | None = None,
+    trace: Trace | None = None,
 ) -> ExperimentResult:
     """Replay the configured trace through a freshly provisioned cluster.
 
     ``policy`` may be a constructed :class:`DropPolicy` or a registered
     policy name, in which case it is built seeded from ``config.seed`` —
     the form sweep workers use, since names pickle and closures do not.
+    ``failures`` are armed before replay; ``scaling`` overrides the bare
+    ``config.scaling`` bool with a full :class:`ScalingSpec`; ``trace``
+    substitutes a pre-built trace (the scenario path's composed workload).
     """
     if isinstance(policy, str):
         policy = make_policy(policy, config.seed)
-    trace = config.resolve_trace()
+    if trace is None:
+        trace = config.resolve_trace()
     cluster = build_cluster(config, policy, trace)
-    if config.scaling:
-        ReactiveScaler(cluster).start()
+    if scaling is None:
+        scaling = ScalingSpec(enabled=config.scaling)
+    if scaling.enabled:
+        # Field-for-field forwarding: every ScalingSpec knob except the
+        # enable flag is a ReactiveScaler constructor parameter.
+        knobs = {f.name: getattr(scaling, f.name) for f in fields(scaling)
+                 if f.name != "enabled"}
+        ReactiveScaler(cluster, **knobs).start()
+    injector = None
+    if failures:
+        injector = FailureInjector(cluster, events=list(failures))
+        injector.schedule_all()
     replay(trace, cluster, drain=config.drain)
     return ExperimentResult(
         config=config,
@@ -186,6 +275,74 @@ def run_experiment(
         collector=cluster.metrics,
         summary=summarize(cluster.metrics, duration=trace.duration),
         cluster=cluster,
+        trace=trace,
+        failure_log=list(injector.log) if injector is not None else [],
+    )
+
+
+def scenario_config(scenario: Scenario) -> ExperimentConfig:
+    """The :class:`ExperimentConfig` shim equivalent of a scenario.
+
+    Scenarios are the declarative source of truth; the config is the
+    resolved in-memory build plan the cluster machinery consumes.  Inline
+    pipelines surface as ``custom_app`` here — but unlike user-supplied
+    live objects they originate from plain data, so the scenario they came
+    from still pickles and fingerprints.
+    """
+    app = scenario.build_application()
+    return ExperimentConfig(
+        app=scenario.app.name or app.name,
+        trace=scenario.trace.name,
+        base_rate=(
+            scenario.trace.base_rate
+            if scenario.trace.base_rate is not None else 60.0
+        ),
+        duration=scenario.trace.duration,
+        seed=scenario.seed,
+        workers=scenario.workers,
+        utilization=scenario.utilization,
+        provision_rate=scenario.provision_rate,
+        provision_headroom=scenario.provision_headroom,
+        slo=scenario.app.slo,
+        sync_interval=scenario.sync_interval,
+        stats_window=scenario.stats_window,
+        drain=scenario.drain,
+        scaling=scenario.scaling.enabled,
+        trace_args=scenario.trace.args,
+        trace_scale=scenario.trace.scale,
+        trace_seed=scenario.trace.seed,
+        custom_app=None if scenario.app.name is not None else app,
+        registry=scenario.build_registry(),
+    )
+
+
+def run_scenario(scenario: Scenario) -> ExperimentResult:
+    """Run one declarative scenario end to end.
+
+    Calibration (``utilization``) measures the named base trace *with its
+    generator args* — they are part of the declared workload; burst
+    overlays and thinning then compose on top — matching the paper's
+    framing, where the cluster is provisioned for the expected workload
+    and the burst is the unpredictable event that exceeds it.
+    """
+    scenario.validate()
+    config = scenario_config(scenario)
+    # The shim carries the full trace declaration (name, args, scale,
+    # seed), so the base workload comes from the same resolve_trace path
+    # calibration measures; only the burst overlays are scenario-level.
+    base = config.resolve_trace()
+    trace = scenario.trace.overlay(base, default_seed=scenario.seed)
+    if (config.workers is None and config.utilization is None
+            and config.provision_rate is None and base.mean_rate > 0):
+        # Auto-provisioning sizes the cluster for the steady workload;
+        # seeing the burst-inflated mean would de-fang the very overload
+        # the scenario declares.
+        config.provision_rate = base.mean_rate
+    return run_experiment(
+        config,
+        scenario.policy,
+        failures=scenario.failures,
+        scaling=scenario.scaling,
         trace=trace,
     )
 

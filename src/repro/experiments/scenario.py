@@ -1,0 +1,773 @@
+"""Declarative, serializable experiment scenarios.
+
+A :class:`Scenario` is one frozen spec covering everything the paper's
+evaluation varies: the workload (a *named* trace plus rate/burst overlays),
+the application (a registered name or an inline custom pipeline with its
+model profiles), the drop policy, worker provisioning, reactive-scaling
+configuration and a schedule of
+:class:`~repro.simulation.failures.FailureEvent`.
+
+Everything is plain data: a scenario round-trips through
+``Scenario.from_dict(s.to_dict())`` (and JSON files), pickles into sweep
+worker processes, and fingerprints stably for the on-disk result cache —
+including synthetic custom pipelines and composed traces, which the old
+``custom_app``/``custom_trace`` live objects could do neither of.  This is
+the deployment-description pattern production serving stacks (Clipper,
+Nexus) use, applied to the experiment surface.
+
+Resolution happens through the three name-keyed registries:
+:func:`~repro.pipeline.applications.register_application`,
+:func:`~repro.workload.generators.register_trace` and
+:func:`~repro.policies.registry.register_policy`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..pipeline.applications import APPLICATIONS, Application, get_application
+from ..pipeline.profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
+from ..pipeline.spec import ModuleSpec, PipelineSpec, chain
+from ..policies.registry import known_policies
+from ..simulation.failures import FailureEvent
+from ..workload.generators import TRACES, get_trace
+from ..workload.trace import Trace
+
+__all__ = [
+    "AppSpec",
+    "BurstSpec",
+    "Scenario",
+    "ScalingSpec",
+    "TraceSpec",
+    "scenario_grid",
+]
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert dicts/lists to sorted tuples (hashable, stable)."""
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for serialisation: tuples back to lists.
+
+    Not an inverse for *nested* dicts (a frozen dict is indistinguishable
+    from a list of pairs); :class:`TraceSpec` rejects those up front.
+    """
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+def _contains_mapping(value: Any) -> bool:
+    """True when a (possibly nested) value holds a dict anywhere."""
+    if isinstance(value, dict):
+        return True
+    if isinstance(value, (list, tuple)):
+        return any(_contains_mapping(v) for v in value)
+    return False
+
+
+def freeze_trace_args(args: Any) -> tuple:
+    """Validate and freeze generator kwargs into hashable sorted pairs.
+
+    Shared by :class:`TraceSpec` and ``ExperimentConfig`` so the two
+    trace-declaration surfaces enforce one rule set.  Nested mappings are
+    rejected: freezing would mangle them into pair-lists that
+    :func:`_thaw` cannot tell apart from genuine nested lists.  Keys that
+    collide with the fixed :func:`~repro.workload.generators.get_trace`
+    keywords are rejected too — they would crash with a TypeError at
+    generation time.
+    """
+    raw = dict(args)
+    clashes = {"name", "base_rate", "duration", "seed"} & set(raw)
+    if clashes:
+        raise ValueError(
+            "trace args may not override reserved generator keywords: "
+            f"{sorted(clashes)}"
+        )
+    for key, value in raw.items():
+        if _contains_mapping(value):
+            raise ValueError(
+                f"trace arg {key!r} must not contain nested mappings; "
+                "use scalars and (nested) lists"
+            )
+    return _freeze(raw)
+
+
+def _canonical(value: Any) -> Any:
+    """Normalise numeric spelling for fingerprinting.
+
+    ``Scenario(duration=8)`` and its JSON round-trip (``8.0``) compare
+    equal, so they must hash equal too — otherwise a spec authored in
+    Python and the same spec re-loaded from a file would miss each
+    other's cache entries.  Bools are checked first (bool is an int
+    subclass); every other int becomes a float.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def _check_keys(data: dict, allowed: set[str], what: str) -> None:
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{what} section must be a mapping, got {type(data).__name__}"
+        )
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(f"unknown {what} keys: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """Rate overlay: multiply arrivals by ``factor`` over one window.
+
+    Applied via :meth:`repro.workload.trace.Trace.overlay_burst`; with
+    ``factor > 1`` this is the "workload burst" the paper motivates
+    proactive dropping with, declared instead of hand-built.
+    """
+
+    start: float
+    length: float
+    factor: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("burst start must be >= 0")
+        if self.length <= 0:
+            raise ValueError("burst length must be > 0")
+        if self.factor <= 0:
+            raise ValueError("burst factor must be > 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "length": self.length,
+            "factor": self.factor,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BurstSpec":
+        _check_keys(data, {"start", "length", "factor", "seed"}, "burst")
+        return cls(
+            start=float(data["start"]),
+            length=float(data["length"]),
+            factor=float(data["factor"]),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A workload declared as a registered generator plus overlays.
+
+    ``base_rate=None`` leaves the rate to the scenario's calibration
+    (``utilization``) or the 60 req/s default; ``seed=None`` inherits the
+    scenario seed.  ``args`` are extra generator keywords (e.g. tweet's
+    ``burst_at``), ``scale`` thins the generated trace (<= 1) and
+    ``bursts`` overlay rate multipliers — so a "composed" trace is data,
+    not a live :class:`~repro.workload.trace.Trace` object.
+    """
+
+    name: str = "tweet"
+    duration: float = 120.0
+    base_rate: float | None = None
+    seed: int | None = None
+    args: tuple = ()
+    scale: float = 1.0
+    bursts: tuple[BurstSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("trace duration must be > 0")
+        if self.base_rate is not None and self.base_rate <= 0:
+            raise ValueError("trace base_rate must be > 0 (or null)")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError("trace scale must be in (0, 1] (thinning only)")
+        object.__setattr__(self, "args", freeze_trace_args(self.args))
+        object.__setattr__(
+            self,
+            "bursts",
+            tuple(
+                b if isinstance(b, BurstSpec) else BurstSpec.from_dict(b)
+                for b in self.bursts
+            ),
+        )
+        for burst in self.bursts:
+            if burst.start >= self.duration:
+                raise ValueError(
+                    f"burst start {burst.start} outside trace duration "
+                    f"{self.duration}"
+                )
+
+    def build_base(self, base_rate: float, default_seed: int = 0) -> Trace:
+        """The declared steady workload: generator args + thinning.
+
+        Bursts are deliberately excluded — they are the "unpredictable
+        events" layered on top, and provisioning must not see them.
+        """
+        if self.name not in TRACES:
+            raise KeyError(
+                f"unknown trace {self.name!r}; known: {sorted(TRACES)}"
+            )
+        seed = self.seed if self.seed is not None else default_seed
+        kwargs = {k: _thaw(v) for k, v in self.args}
+        trace = get_trace(
+            self.name, base_rate=base_rate, duration=self.duration,
+            seed=seed, **kwargs,
+        )
+        if self.scale != 1.0:
+            trace = trace.scaled(self.scale)
+        return trace
+
+    def overlay(self, trace: Trace, default_seed: int = 0) -> Trace:
+        """Apply the declared burst overlays to an already-built trace."""
+        seed = self.seed if self.seed is not None else default_seed
+        for burst in self.bursts:
+            trace = trace.overlay_burst(
+                burst.start, burst.length, burst.factor, seed=burst.seed + seed
+            )
+        return trace
+
+    def build(self, base_rate: float, default_seed: int = 0) -> Trace:
+        """Generate the composed trace at ``base_rate``."""
+        return self.overlay(
+            self.build_base(base_rate, default_seed), default_seed
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "base_rate": self.base_rate,
+            "seed": self.seed,
+            "args": {k: _thaw(v) for k, v in self.args},
+            "scale": self.scale,
+            "bursts": [b.to_dict() for b in self.bursts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceSpec":
+        _check_keys(
+            data,
+            {"name", "duration", "base_rate", "seed", "args", "scale", "bursts"},
+            "trace",
+        )
+        return cls(
+            name=str(data.get("name", "tweet")),
+            duration=float(data.get("duration", 120.0)),
+            base_rate=(
+                None if data.get("base_rate") is None
+                else float(data["base_rate"])
+            ),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+            args=dict(data.get("args", {})).items(),
+            scale=float(data.get("scale", 1.0)),
+            bursts=tuple(
+                BurstSpec.from_dict(b) for b in data.get("bursts", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """An application declared by registered name or as an inline pipeline.
+
+    Inline pipelines give ``modules`` (ids, models, DAG edges) plus a
+    required ``slo`` and any :class:`~repro.pipeline.profiles.ModelProfile`
+    entries their models need beyond the defaults — the serializable form
+    of what ``ExperimentConfig.custom_app`` used to carry as a live object.
+    """
+
+    name: str | None = None
+    modules: tuple[ModuleSpec, ...] = ()
+    pipeline: str = "custom"
+    slo: float | None = None
+    profiles: tuple[ModelProfile, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "modules",
+            tuple(
+                m if isinstance(m, ModuleSpec) else self._module_from_dict(m)
+                for m in self.modules
+            ),
+        )
+        object.__setattr__(
+            self,
+            "profiles",
+            tuple(
+                p if isinstance(p, ModelProfile) else ModelProfile(**p)
+                for p in self.profiles
+            ),
+        )
+        if (self.name is None) == (not self.modules):
+            raise ValueError(
+                "an app spec needs exactly one of: a registered name, or "
+                "inline modules"
+            )
+        if self.modules and self.slo is None:
+            raise ValueError("an inline pipeline requires an explicit slo")
+        if self.slo is not None and self.slo <= 0:
+            raise ValueError("slo must be > 0")
+
+    @staticmethod
+    def _module_from_dict(data: dict) -> ModuleSpec:
+        _check_keys(data, {"id", "model", "pres", "subs"}, "module")
+        return ModuleSpec(
+            id=str(data["id"]),
+            model=str(data["model"]),
+            pres=tuple(str(p) for p in data.get("pres", ())),
+            subs=tuple(str(s) for s in data.get("subs", ())),
+        )
+
+    @classmethod
+    def chained(
+        cls,
+        models: Sequence[str],
+        slo: float,
+        pipeline: str = "custom",
+        profiles: Sequence[ModelProfile] = (),
+    ) -> "AppSpec":
+        """Convenience: a linear pipeline from an ordered model list."""
+        spec = chain(pipeline, list(models))
+        return cls(
+            modules=tuple(spec.modules), pipeline=pipeline, slo=slo,
+            profiles=tuple(profiles),
+        )
+
+    def build(self) -> Application:
+        """Resolve to a live :class:`Application`."""
+        if self.name is not None:
+            if self.name not in APPLICATIONS:
+                raise KeyError(
+                    f"unknown application {self.name!r}; "
+                    f"known: {sorted(APPLICATIONS)}"
+                )
+            app = get_application(self.name)
+            if self.slo is not None:
+                app = Application(spec=app.spec, slo=self.slo)
+            return app
+        spec = PipelineSpec(name=self.pipeline, modules=list(self.modules))
+        return Application(spec=spec, slo=self.slo)
+
+    def build_registry(self) -> ProfileRegistry:
+        """Default profiles with this app's extras layered on top."""
+        if not self.profiles:
+            return DEFAULT_PROFILES
+        merged = {
+            name: DEFAULT_PROFILES.get(name) for name in DEFAULT_PROFILES.names()
+        }
+        for profile in self.profiles:
+            merged[profile.name] = profile
+        return ProfileRegistry(list(merged.values()))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "pipeline": self.pipeline,
+            "modules": [
+                {
+                    "id": m.id, "model": m.model,
+                    "pres": list(m.pres), "subs": list(m.subs),
+                }
+                for m in self.modules
+            ],
+            "slo": self.slo,
+            "profiles": [
+                {
+                    "name": p.name, "base": p.base,
+                    "per_item": p.per_item, "max_batch": p.max_batch,
+                }
+                for p in self.profiles
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppSpec":
+        _check_keys(
+            data,
+            {"name", "pipeline", "modules", "chain", "slo", "profiles"},
+            "app",
+        )
+        profiles = tuple(
+            ModelProfile(
+                name=str(p["name"]), base=float(p["base"]),
+                per_item=float(p["per_item"]),
+                max_batch=int(p.get("max_batch", 32)),
+            )
+            for p in data.get("profiles", [])
+        )
+        slo = None if data.get("slo") is None else float(data["slo"])
+        if "chain" in data:
+            if data.get("name") or data.get("modules"):
+                raise ValueError(
+                    "'chain' is exclusive with 'name' and 'modules'"
+                )
+            return cls.chained(
+                [str(m) for m in data["chain"]], slo=slo,
+                pipeline=str(data.get("pipeline", "custom")),
+                profiles=profiles,
+            )
+        return cls(
+            name=None if data.get("name") is None else str(data["name"]),
+            modules=tuple(data.get("modules", ())),
+            pipeline=str(data.get("pipeline", "custom")),
+            slo=slo,
+            profiles=profiles,
+        )
+
+
+@dataclass(frozen=True)
+class ScalingSpec:
+    """Reactive-scaler configuration (replaces the old bare bool knob)."""
+
+    enabled: bool = False
+    interval: float = 2.0
+    cold_start: float = 8.0
+    headroom: float = 1.1
+    min_workers: int = 1
+    max_workers: int = 16
+    scale_in_patience: int = 4
+    graceful_scale_in: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            # interval=0 would flood the event queue with same-timestamp
+            # ticks and hang the simulation.
+            raise ValueError("scaling interval must be > 0")
+        if self.cold_start < 0:
+            raise ValueError("scaling cold_start must be >= 0")
+        if self.headroom <= 0:
+            raise ValueError("scaling headroom must be > 0")
+        if self.min_workers < 1:
+            raise ValueError("scaling min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("scaling max_workers must be >= min_workers")
+        if self.scale_in_patience < 1:
+            raise ValueError("scaling scale_in_patience must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScalingSpec":
+        allowed = {f.name for f in fields(cls)}
+        _check_keys(data, allowed, "scaling")
+        # Coerce like every sibling from_dict: JSON authors write `8`
+        # where Python holds 8.0, and an uncoerced int would change the
+        # fingerprint of an otherwise-equal scenario.
+        bool_keys = {"enabled", "graceful_scale_in"}
+        int_keys = {"min_workers", "max_workers", "scale_in_patience"}
+        kwargs: dict = {}
+        for key, value in data.items():
+            if key in bool_keys:
+                if not isinstance(value, bool):
+                    raise ValueError(f"scaling {key} must be true/false")
+                kwargs[key] = value
+            elif key in int_keys:
+                if int(value) != value:
+                    raise ValueError(
+                        f"scaling {key} must be an integer, got {value}"
+                    )
+                kwargs[key] = int(value)
+            else:
+                kwargs[key] = float(value)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One serializable spec from workload to failure injection.
+
+    The unit of experiment declaration: runnable in-process via
+    :func:`repro.experiments.runner.run_scenario`, shippable to sweep
+    workers (it pickles), cacheable on disk (it fingerprints), and
+    storable as JSON next to the figures it produces.
+    """
+
+    app: AppSpec = field(default_factory=lambda: AppSpec(name="lv"))
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    policy: str = "PARD"
+    seed: int = 0
+    workers: int | dict[str, int] | None = None
+    utilization: float | None = None
+    provision_rate: float | None = None
+    provision_headroom: float = 1.0
+    sync_interval: float = 1.0
+    stats_window: float = 5.0
+    drain: float = 5.0
+    scaling: ScalingSpec = field(default_factory=ScalingSpec)
+    failures: tuple[FailureEvent, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        # Accept dict forms for the nested specs too, mirroring how
+        # failures/bursts/modules coerce — Scenario(app={"name": "tm"})
+        # is the natural Python transcription of the JSON shape.
+        if isinstance(self.app, dict):
+            object.__setattr__(self, "app", AppSpec.from_dict(self.app))
+        if isinstance(self.trace, dict):
+            object.__setattr__(self, "trace", TraceSpec.from_dict(self.trace))
+        if isinstance(self.scaling, dict):
+            object.__setattr__(
+                self, "scaling", ScalingSpec.from_dict(self.scaling)
+            )
+        if isinstance(self.workers, dict):
+            for key, value in self.workers.items():
+                if int(value) != value:
+                    raise ValueError(
+                        f"workers[{key!r}] must be an integer, got {value}"
+                    )
+            object.__setattr__(
+                self,
+                "workers",
+                {str(k): int(v) for k, v in self.workers.items()},
+            )
+        elif self.workers is not None:
+            if int(self.workers) != self.workers:
+                raise ValueError(
+                    f"workers must be an integer, got {self.workers}"
+                )
+            object.__setattr__(self, "workers", int(self.workers))
+        if self.sync_interval <= 0:
+            # A zero interval floods the event queue with same-timestamp
+            # ticks and the simulation never advances.
+            raise ValueError("sync_interval must be > 0")
+        if self.stats_window <= 0:
+            raise ValueError("stats_window must be > 0")
+        if self.drain < 0:
+            raise ValueError("drain must be >= 0")
+        if self.utilization is not None and self.utilization <= 0:
+            raise ValueError("utilization must be > 0 (or null)")
+        if self.provision_rate is not None and self.provision_rate <= 0:
+            raise ValueError("provision_rate must be > 0 (or null)")
+        if self.provision_headroom <= 0:
+            raise ValueError("provision_headroom must be > 0")
+        object.__setattr__(
+            self,
+            "failures",
+            tuple(
+                e if isinstance(e, FailureEvent) else FailureEvent.from_dict(e)
+                for e in self.failures
+            ),
+        )
+
+    def label(self) -> str:
+        """Short identifier used by sweep progress and result tables."""
+        base = self.name or f"{self.app.name or self.app.pipeline}-{self.trace.name}"
+        return f"{base}-{self.policy}-s{self.seed}"
+
+    def validate(self) -> "Scenario":
+        """Resolve every registry reference now instead of at run time.
+
+        The constructors validate structure; names (policy, trace,
+        application, model profiles, module ids) are checked lazily so
+        registration order stays flexible.  Callers that load
+        user-authored files (the CLI) call this to surface a broken
+        reference as one clean error up front.  Returns ``self``.
+        """
+        if self.policy not in known_policies():
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"known: {', '.join(known_policies())}"
+            )
+        if self.utilization is not None and self.trace.base_rate is not None:
+            raise ValueError(
+                "utilization and trace base_rate are mutually exclusive: "
+                "calibration would silently override the explicit rate"
+            )
+        if self.utilization is not None and self.provision_rate is not None:
+            raise ValueError(
+                "utilization and provision_rate are mutually exclusive: "
+                "calibration sizes workers itself, so the explicit rate "
+                "would be silently ignored"
+            )
+        if self.trace.name not in TRACES:
+            raise ValueError(
+                f"unknown trace {self.trace.name!r}; known: {sorted(TRACES)}"
+            )
+        generator = TRACES[self.trace.name]
+        parameters = inspect.signature(generator).parameters
+        if not any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+            unknown_args = {key for key, _ in self.trace.args} - set(parameters)
+            if unknown_args:
+                raise ValueError(
+                    f"trace {self.trace.name!r} does not accept args: "
+                    f"{sorted(unknown_args)}"
+                )
+        try:
+            app = self.build_application()
+            registry = self.build_registry()
+            for module in app.spec.modules:
+                registry.get(module.model)
+        except KeyError as exc:
+            raise ValueError(str(exc).strip('"')) from None
+        module_ids = set(app.spec.module_ids)
+        if isinstance(self.workers, dict):
+            unknown = set(self.workers) - module_ids
+            if unknown:
+                raise ValueError(
+                    f"workers reference unknown modules: {sorted(unknown)}"
+                )
+            missing = module_ids - set(self.workers)
+            if missing:
+                raise ValueError(
+                    f"workers must cover every module; missing: "
+                    f"{sorted(missing)}"
+                )
+            bad = sorted(k for k, v in self.workers.items() if v < 1)
+            if bad:
+                raise ValueError(
+                    f"workers must be >= 1; got less for modules: {bad}"
+                )
+        elif self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        for event in self.failures:
+            if event.module_id not in module_ids:
+                raise ValueError(
+                    f"failure event at t={event.time} references unknown "
+                    f"module {event.module_id!r}"
+                )
+            if event.time >= self.trace.duration:
+                raise ValueError(
+                    f"failure event at t={event.time} falls outside the "
+                    f"trace duration {self.trace.duration}"
+                )
+        return self
+
+    # -- resolution --------------------------------------------------------
+
+    def build_application(self) -> Application:
+        return self.app.build()
+
+    def build_registry(self) -> ProfileRegistry:
+        return self.app.build_registry()
+
+    def build_trace(self, base_rate: float) -> Trace:
+        return self.trace.build(base_rate, default_seed=self.seed)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app.to_dict(),
+            "trace": self.trace.to_dict(),
+            "policy": self.policy,
+            "seed": self.seed,
+            "workers": (
+                dict(self.workers) if isinstance(self.workers, dict)
+                else self.workers
+            ),
+            "utilization": self.utilization,
+            "provision_rate": self.provision_rate,
+            "provision_headroom": self.provision_headroom,
+            "sync_interval": self.sync_interval,
+            "stats_window": self.stats_window,
+            "drain": self.drain,
+            "scaling": self.scaling.to_dict(),
+            "failures": [e.to_dict() for e in self.failures],
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        _check_keys(
+            data,
+            {
+                "app", "trace", "policy", "seed", "workers", "utilization",
+                "provision_rate", "provision_headroom", "sync_interval",
+                "stats_window", "drain", "scaling", "failures", "name",
+            },
+            "scenario",
+        )
+        # Both workers forms are normalized/validated by __post_init__.
+        workers = data.get("workers")
+        return cls(
+            app=AppSpec.from_dict(data.get("app", {"name": "lv"})),
+            trace=TraceSpec.from_dict(data.get("trace", {})),
+            policy=str(data.get("policy", "PARD")),
+            seed=int(data.get("seed", 0)),
+            workers=workers,
+            utilization=(
+                None if data.get("utilization") is None
+                else float(data["utilization"])
+            ),
+            provision_rate=(
+                None if data.get("provision_rate") is None
+                else float(data["provision_rate"])
+            ),
+            provision_headroom=float(data.get("provision_headroom", 1.0)),
+            sync_interval=float(data.get("sync_interval", 1.0)),
+            stats_window=float(data.get("stats_window", 5.0)),
+            drain=float(data.get("drain", 5.0)),
+            scaling=ScalingSpec.from_dict(data.get("scaling", {})),
+            failures=tuple(
+                FailureEvent.from_dict(e) for e in data.get("failures", [])
+            ),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Scenario":
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the full spec (cache identity).
+
+        Canonical over numeric spelling: equal scenarios fingerprint
+        equally whether fields were authored as ints or floats, in Python
+        or in JSON.
+        """
+        blob = json.dumps(_canonical(self.to_dict()), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scenario_grid(
+    base: Scenario,
+    policies: Iterable[str] | None = None,
+    seeds: Iterable[int] | None = None,
+) -> list[Scenario]:
+    """Expand one scenario over policies x seeds (the sweep unit).
+
+    Empty or ``None`` axes fall back to the base scenario's own value, so
+    the grid is never silently empty.
+    """
+    # Materialize before testing emptiness: a generator is always truthy.
+    policy_list = list(policies) if policies is not None else []
+    seed_list = list(seeds) if seeds is not None else []
+    return [
+        replace(base, policy=policy, seed=seed)
+        for policy in (policy_list or [base.policy])
+        for seed in (seed_list or [base.seed])
+    ]

@@ -46,10 +46,11 @@ from typing import Callable, Iterable, Sequence
 from ..metrics.analysis import Summary
 from ..metrics.collector import MetricsCollector
 from .configs import standard_config
-from .runner import ExperimentConfig, run_experiment
+from .runner import ExperimentConfig, run_experiment, run_scenario
+from .scenario import Scenario, _canonical
 
 #: Fingerprint schema version; bump when the cached payload shape changes.
-_CACHE_SCHEMA = 1
+_CACHE_SCHEMA = 2
 
 _source_digest_cache: str | None = None
 
@@ -74,12 +75,38 @@ def _source_digest() -> str:
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One unit of sweep work: a config plus a registered policy name."""
+    """One unit of sweep work.
 
-    config: ExperimentConfig
-    policy: str
+    Either a config plus a registered policy name (the classic form), or a
+    declarative :class:`~repro.experiments.scenario.Scenario` — which also
+    covers custom pipelines, composed traces and failure schedules, all of
+    it picklable into workers and fingerprintable into the cache.
+    """
+
+    config: ExperimentConfig | None = None
+    policy: str = ""
+    scenario: Scenario | None = None
+
+    def __post_init__(self) -> None:
+        if (self.config is None) == (self.scenario is None):
+            raise ValueError(
+                "a sweep cell needs exactly one of: config, scenario"
+            )
+        if self.config is not None and not self.policy:
+            raise ValueError("config cells need a policy name")
+        if self.scenario is not None:
+            if self.policy and self.policy != self.scenario.policy:
+                # A divergent label would fingerprint (and cache) the cell
+                # under a policy other than the one that actually runs.
+                raise ValueError(
+                    f"cell policy {self.policy!r} conflicts with scenario "
+                    f"policy {self.scenario.policy!r}"
+                )
+            object.__setattr__(self, "policy", self.scenario.policy)
 
     def label(self) -> str:
+        if self.scenario is not None:
+            return self.scenario.label()
         c = self.config
         return f"{c.app}-{c.trace}-{self.policy}-s{c.seed}"
 
@@ -138,6 +165,11 @@ def sweep_grid(
     ]
 
 
+def scenario_cells(scenarios: Iterable[Scenario]) -> list[SweepCell]:
+    """Wrap declarative scenarios as sweep cells."""
+    return [SweepCell(scenario=scenario) for scenario in scenarios]
+
+
 def _registry_fingerprint(config: ExperimentConfig) -> list[list]:
     return [
         [p.name, p.base, p.per_item, p.max_batch]
@@ -146,25 +178,71 @@ def _registry_fingerprint(config: ExperimentConfig) -> list[list]:
     ]
 
 
+def _references_external_components(
+    trace_name: str, app_name: str | None, policy: str
+) -> bool:
+    """True when the named components resolve outside the ``repro`` package.
+
+    The cell fingerprint covers the cell spec and the ``repro`` sources —
+    not third-party code.  A downstream-registered trace, application or
+    policy could be edited without changing either, so caching those
+    cells would silently serve stale results.
+    """
+    from ..pipeline.applications import APPLICATIONS
+    from ..policies.ablations import ABLATIONS
+    from ..policies.registry import SYSTEM_FACTORIES
+    from ..workload.generators import TRACES
+
+    factories = [TRACES.get(trace_name)]
+    if app_name is not None:
+        factories.append(APPLICATIONS.get(app_name))
+    factories.append(SYSTEM_FACTORIES.get(policy) or ABLATIONS.get(policy))
+
+    def external(factory) -> bool:
+        module = getattr(factory, "__module__", "") or ""
+        return module != "repro" and not module.startswith("repro.")
+
+    return any(external(f) for f in factories if f is not None)
+
+
 def cell_fingerprint(cell: SweepCell) -> str | None:
     """Stable hex digest identifying a cell's result, or ``None``.
 
-    ``None`` means the cell is not cacheable: custom application/trace
-    objects have no stable textual identity, so their cells always run.
+    Scenario cells fingerprint whenever every referenced component lives
+    in the ``repro`` package — the spec is plain data, including inline
+    pipelines and composed traces.  ``None`` means not cacheable: config
+    cells carrying ``custom_app``/``custom_trace`` live objects, and
+    scenario cells resolving third-party registrations (whose code the
+    fingerprint cannot see), always run.
     """
-    config = cell.config
-    if config.custom_app is not None or config.custom_trace is not None:
-        return None
     from .. import __version__  # deferred: repro/__init__ imports this module
 
     payload: dict = {"schema": _CACHE_SCHEMA, "version": __version__,
                      "source": _source_digest(), "policy": cell.policy}
-    for f in fields(config):
-        if f.name in ("custom_app", "custom_trace", "registry"):
-            continue
-        payload[f.name] = getattr(config, f.name)
-    payload["registry"] = _registry_fingerprint(config)
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if cell.scenario is not None:
+        s = cell.scenario
+        if _references_external_components(s.trace.name, s.app.name, s.policy):
+            return None
+        # The scenario's own digest is already canonical over numeric
+        # spelling (int vs float authoring); fold it in rather than the
+        # raw dict.
+        payload["scenario"] = s.fingerprint()
+    else:
+        config = cell.config
+        if config.custom_app is not None or config.custom_trace is not None:
+            return None
+        if _references_external_components(config.trace, config.app,
+                                           cell.policy):
+            return None
+        for f in fields(config):
+            if f.name in ("custom_app", "custom_trace", "registry"):
+                continue
+            payload[f.name] = getattr(config, f.name)
+        payload["registry"] = _registry_fingerprint(config)
+    # Canonical over numeric spelling: equal cells authored with int vs
+    # float fields (25 vs 25.0) must share one cache identity.
+    blob = json.dumps(_canonical(payload), sort_keys=True,
+                      separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -212,6 +290,12 @@ class SweepCache:
         if not isinstance(result, CellResult):
             path.unlink(missing_ok=True)
             return None
+        try:
+            # Touch on hit so prune_cache's oldest-first eviction is a
+            # true LRU: hot entries survive, never-reused ones go first.
+            os.utime(path)
+        except OSError:
+            pass
         result.cached = True
         return result
 
@@ -227,6 +311,54 @@ class SweepCache:
         tmp.replace(self._path(fingerprint))
 
 
+def prune_cache(cache_dir: str | os.PathLike, max_bytes: int) -> int:
+    """Evict oldest cache entries until the cache fits in ``max_bytes``.
+
+    Keeps ``.sweep_cache/`` from growing unboundedly across benchmark runs:
+    entries are dropped oldest-first (by mtime) across all source-digest
+    buckets, and emptied buckets are removed.  Returns the bytes freed.
+    A missing directory is a no-op.
+    """
+    if max_bytes < 0:
+        raise ValueError("max_bytes must be >= 0")
+    base = Path(cache_dir)
+    if not base.is_dir():
+        return 0
+    # Orphaned temp files from killed writers never become entries and
+    # would otherwise escape the budget forever; a live writer's temp is
+    # milliseconds old, so an age cutoff separates the two safely.
+    cutoff = time.time() - 600
+    for tmp in base.rglob("*.tmp"):
+        try:
+            if tmp.stat().st_mtime < cutoff:
+                tmp.unlink(missing_ok=True)
+        except OSError:
+            continue
+    entries = []
+    for path in base.rglob("*.pkl"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # concurrently evicted by another sweep
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort()
+    total = sum(size for _, size, _ in entries)
+    freed = 0
+    for _, size, path in entries:
+        if total <= max_bytes:
+            break
+        path.unlink(missing_ok=True)
+        total -= size
+        freed += size
+        parent = path.parent
+        try:
+            if parent != base and not any(parent.iterdir()):
+                parent.rmdir()
+        except OSError:
+            pass  # a concurrent sweep refilled or removed the bucket
+    return freed
+
+
 def execute_cell(cell: SweepCell) -> CellResult:
     """Run one cell to completion, never raising.
 
@@ -236,7 +368,10 @@ def execute_cell(cell: SweepCell) -> CellResult:
     """
     t0 = time.perf_counter()
     try:
-        result = run_experiment(cell.config, cell.policy)
+        if cell.scenario is not None:
+            result = run_scenario(cell.scenario)
+        else:
+            result = run_experiment(cell.config, cell.policy)
         return CellResult(
             cell=cell,
             policy_name=result.policy_name,

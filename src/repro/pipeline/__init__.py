@@ -1,6 +1,16 @@
 """Pipeline specifications, model profiles and the paper's applications."""
 
-from .applications import APPLICATIONS, Application, da, get_application, gm, lv, tm
+from .applications import (
+    APPLICATIONS,
+    Application,
+    da,
+    get_application,
+    gm,
+    known_applications,
+    lv,
+    register_application,
+    tm,
+)
 from .profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
 from .spec import ModuleSpec, PipelineSpec, chain
 
@@ -16,6 +26,8 @@ __all__ = [
     "da",
     "get_application",
     "gm",
+    "known_applications",
     "lv",
+    "register_application",
     "tm",
 ]

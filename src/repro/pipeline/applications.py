@@ -13,6 +13,7 @@ Following §5.1:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from .spec import ModuleSpec, PipelineSpec, chain
 
@@ -29,12 +30,43 @@ class Application:
         return self.spec.name
 
 
+#: Name -> application factory registry.  Factories (not instances) so every
+#: lookup gets a fresh, unshared Application.
+APPLICATIONS: dict[str, Callable[[], Application]] = {}
+
+
+def register_application(
+    name: str,
+) -> Callable[[Callable[[], Application]], Callable[[], Application]]:
+    """Decorator registering an application factory under ``name``.
+
+    The same name-keyed pattern as :func:`repro.workload.generators.
+    register_trace` and :func:`repro.policies.registry.register_policy`;
+    together they let a scenario file reference everything by string.
+    """
+
+    def decorate(fn: Callable[[], Application]) -> Callable[[], Application]:
+        if name in APPLICATIONS:
+            raise ValueError(f"application {name!r} already registered")
+        APPLICATIONS[name] = fn
+        return fn
+
+    return decorate
+
+
+def known_applications() -> list[str]:
+    """All registered application names."""
+    return sorted(APPLICATIONS)
+
+
+@register_application("tm")
 def tm() -> Application:
     """Traffic monitoring: vehicle and pedestrian analysis (3 modules)."""
     spec = chain("tm", ["object_detection", "face_recognition", "text_recognition"])
     return Application(spec=spec, slo=0.400)
 
 
+@register_application("lv")
 def lv() -> Application:
     """Live video analysis (5 modules)."""
     spec = chain(
@@ -50,6 +82,7 @@ def lv() -> Application:
     return Application(spec=spec, slo=0.500)
 
 
+@register_application("gm")
 def gm() -> Application:
     """Game-stream analysis (5 modules)."""
     spec = chain(
@@ -65,6 +98,7 @@ def gm() -> Application:
     return Application(spec=spec, slo=0.600)
 
 
+@register_application("da")
 def da() -> Application:
     """DAG-style live video analysis (fork/join), SLO 420 ms.
 
@@ -82,9 +116,6 @@ def da() -> Application:
         ],
     )
     return Application(spec=spec, slo=0.420)
-
-
-APPLICATIONS = {"tm": tm, "lv": lv, "gm": gm, "da": da}
 
 
 def get_application(name: str) -> Application:

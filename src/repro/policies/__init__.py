@@ -6,7 +6,12 @@ from .clipper import ClipperPlusPlusPolicy
 from .naive import NaivePolicy
 from .nexus import NexusPolicy
 from .overload_control import OverloadControlPolicy
-from .registry import SYSTEM_FACTORIES, known_policies, make_policy
+from .registry import (
+    SYSTEM_FACTORIES,
+    known_policies,
+    make_policy,
+    register_policy,
+)
 
 __all__ = [
     "ABLATIONS",
@@ -22,4 +27,5 @@ __all__ = [
     "known_policies",
     "make_ablation",
     "make_policy",
+    "register_policy",
 ]

@@ -17,13 +17,50 @@ from .clipper import ClipperPlusPlusPolicy
 from .naive import NaivePolicy
 from .nexus import NexusPolicy
 
-#: The four systems compared throughout §5.2.
-SYSTEM_FACTORIES: dict[str, Callable[[int], DropPolicy]] = {
-    "PARD": lambda seed: make_ablation("PARD", seed=seed),
-    "Nexus": lambda seed: NexusPolicy(),
-    "Clipper++": lambda seed: ClipperPlusPlusPolicy(),
-    "Naive": lambda seed: NaivePolicy(),
-}
+#: The four systems compared throughout §5.2 (name -> seeded factory).
+SYSTEM_FACTORIES: dict[str, Callable[[int], DropPolicy]] = {}
+
+
+def register_policy(
+    name: str,
+) -> Callable[[Callable[[int], DropPolicy]], Callable[[int], DropPolicy]]:
+    """Decorator registering a seeded policy factory under ``name``.
+
+    The same name-keyed pattern as :func:`repro.pipeline.applications.
+    register_application` and :func:`repro.workload.generators.
+    register_trace`, so scenarios and sweep workers resolve policies from
+    plain strings.
+    """
+
+    def decorate(fn: Callable[[int], DropPolicy]) -> Callable[[int], DropPolicy]:
+        # Ablation names may legitimately shadow a system name (PARD is
+        # both); only a second *system* registration is an error.
+        if name in SYSTEM_FACTORIES:
+            raise ValueError(f"policy {name!r} already registered")
+        SYSTEM_FACTORIES[name] = fn
+        return fn
+
+    return decorate
+
+
+@register_policy("PARD")
+def _pard(seed: int) -> DropPolicy:
+    return make_ablation("PARD", seed=seed)
+
+
+@register_policy("Nexus")
+def _nexus(seed: int) -> DropPolicy:
+    return NexusPolicy()
+
+
+@register_policy("Clipper++")
+def _clipper(seed: int) -> DropPolicy:
+    return ClipperPlusPlusPolicy()
+
+
+@register_policy("Naive")
+def _naive(seed: int) -> DropPolicy:
+    return NaivePolicy()
 
 
 def known_policies() -> list[str]:

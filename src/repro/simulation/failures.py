@@ -25,10 +25,38 @@ class FailureEvent:
     downtime: float = 10.0
 
     def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("failure time must be >= 0")
         if self.workers < 1:
             raise ValueError("must fail at least one worker")
         if self.downtime <= 0:
             raise ValueError("downtime must be > 0")
+
+    def to_dict(self) -> dict:
+        """Plain-data form for scenario files."""
+        return {
+            "time": self.time,
+            "module_id": self.module_id,
+            "workers": self.workers,
+            "downtime": self.downtime,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureEvent":
+        unknown = set(data) - {"time", "module_id", "workers", "downtime"}
+        if unknown:
+            raise ValueError(f"unknown failure-event keys: {sorted(unknown)}")
+        missing = {"time", "module_id"} - set(data)
+        if missing:
+            raise ValueError(
+                f"failure event missing required keys: {sorted(missing)}"
+            )
+        return cls(
+            time=float(data["time"]),
+            module_id=str(data["module_id"]),
+            workers=int(data.get("workers", 1)),
+            downtime=float(data.get("downtime", 10.0)),
+        )
 
 
 @dataclass

@@ -11,7 +11,7 @@ available (Figure 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..simulation.request import Request, RequestStatus

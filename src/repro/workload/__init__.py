@@ -6,7 +6,9 @@ from .generators import (
     azure_trace,
     constant_trace,
     get_trace,
+    known_traces,
     poisson_trace,
+    register_trace,
     step_trace,
     tweet_trace,
     wiki_trace,
@@ -22,8 +24,10 @@ __all__ = [
     "azure_trace",
     "constant_trace",
     "get_trace",
+    "known_traces",
     "load_trace_csv",
     "load_trace_json",
+    "register_trace",
     "save_trace_csv",
     "save_trace_json",
     "poisson_trace",

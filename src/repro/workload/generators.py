@@ -21,6 +21,34 @@ from .trace import Trace
 
 RateFn = Callable[[np.ndarray], np.ndarray]
 
+#: Name -> generator registry.  Every generator accepts ``base_rate``,
+#: ``duration``, ``seed`` and ``name`` keywords so scenarios can declare a
+#: trace as a name plus keyword arguments instead of a live :class:`Trace`.
+TRACES: dict[str, Callable[..., Trace]] = {}
+
+
+def register_trace(name: str) -> Callable[[Callable[..., Trace]], Callable[..., Trace]]:
+    """Decorator registering a trace generator under ``name``.
+
+    Mirrors :func:`repro.pipeline.applications.register_application` and
+    :func:`repro.policies.registry.register_policy` — the three registries
+    that together make a declarative :class:`~repro.experiments.scenario.
+    Scenario` resolvable from plain strings in any process.
+    """
+
+    def decorate(fn: Callable[..., Trace]) -> Callable[..., Trace]:
+        if name in TRACES:
+            raise ValueError(f"trace {name!r} already registered")
+        TRACES[name] = fn
+        return fn
+
+    return decorate
+
+
+def known_traces() -> list[str]:
+    """All registered trace generator names."""
+    return sorted(TRACES)
+
 
 def arrivals_from_rate(
     rate_fn: RateFn,
@@ -68,6 +96,7 @@ def constant_trace(
     return Trace(name=name, arrivals=np.arange(n) / rate, duration=duration)
 
 
+@register_trace("wiki")
 def wiki_trace(
     base_rate: float = 100.0,
     duration: float = 600.0,
@@ -93,6 +122,7 @@ def wiki_trace(
     return arrivals_from_rate(rate, duration, peak, seed, name)
 
 
+@register_trace("tweet")
 def tweet_trace(
     base_rate: float = 100.0,
     duration: float = 600.0,
@@ -126,6 +156,7 @@ def tweet_trace(
     return arrivals_from_rate(rate, duration, peak, seed, name)
 
 
+@register_trace("azure")
 def azure_trace(
     base_rate: float = 100.0,
     duration: float = 600.0,
@@ -185,19 +216,48 @@ def step_trace(
     return arrivals_from_rate(rate, duration, float(levels.max()), seed, name)
 
 
-TRACES: dict[str, Callable[..., Trace]] = {
-    "wiki": wiki_trace,
-    "tweet": tweet_trace,
-    "azure": azure_trace,
-}
+# Synthetic baselines registered under the same pattern as the paper's
+# traces, adapted to the uniform (base_rate, duration, seed, name) keyword
+# signature so scenario files can declare them by name.
+@register_trace("poisson")
+def _poisson_by_name(
+    base_rate: float, duration: float, seed: int = 0, name: str = "poisson"
+) -> Trace:
+    return poisson_trace(rate=base_rate, duration=duration, seed=seed, name=name)
+
+
+@register_trace("constant")
+def _constant_by_name(
+    base_rate: float, duration: float, seed: int = 0, name: str = "constant"
+) -> Trace:
+    # Deterministic spacing: the seed is accepted for interface uniformity.
+    return constant_trace(rate=base_rate, duration=duration, name=name)
+
+
+@register_trace("step")
+def _step_by_name(
+    base_rate: float,
+    duration: float,
+    seed: int = 0,
+    name: str = "step",
+    rates: list[tuple[float, float]] | None = None,
+) -> Trace:
+    """Piecewise-constant trace; ``rates`` entries scale ``base_rate``.
+
+    Declared as ``(start_time, rate_multiplier)`` change-points so the same
+    step shape calibrates with any base rate.  Defaults to a flat 1.0x.
+    """
+    shape = rates if rates is not None else [(0.0, 1.0)]
+    absolute = [(float(t), float(m) * base_rate) for t, m in shape]
+    return step_trace(rates=absolute, duration=duration, seed=seed, name=name)
 
 
 def get_trace(
-    name: str, base_rate: float, duration: float, seed: int = 0
+    name: str, base_rate: float, duration: float, seed: int = 0, **kwargs
 ) -> Trace:
-    """Build one of the paper's three named traces."""
+    """Build a registered trace; extra keywords reach the generator."""
     try:
         gen = TRACES[name]
     except KeyError:
         raise KeyError(f"unknown trace {name!r}; known: {sorted(TRACES)}") from None
-    return gen(base_rate=base_rate, duration=duration, seed=seed, name=name)
+    return gen(base_rate=base_rate, duration=duration, seed=seed, name=name, **kwargs)

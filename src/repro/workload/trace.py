@@ -75,6 +75,44 @@ class Trace:
             duration=end - start,
         )
 
+    def overlay_burst(
+        self, start: float, length: float, factor: float, seed: int = 0
+    ) -> "Trace":
+        """Trace with the arrival rate multiplied by ``factor`` over a window.
+
+        Models the paper's "unpredictable events": for ``factor > 1`` extra
+        Poisson arrivals are superposed on [start, start+length) so the
+        windowed rate lands at roughly ``factor`` times the original;
+        ``factor < 1`` thins the window instead.  Deterministic in ``seed``
+        (and the trace name), so declaratively composed traces replay
+        identically across sweep worker processes.
+        """
+        if length <= 0:
+            raise ValueError("burst length must be > 0")
+        if factor <= 0:
+            raise ValueError("burst factor must be > 0")
+        if not 0 <= start < self.duration:
+            raise ValueError(
+                f"burst start {start} outside trace duration {self.duration}"
+            )
+        end = min(start + length, self.duration)
+        rng = np.random.default_rng(
+            (stable_hash(f"{self.name}|burst") + seed) % 2**32
+        )
+        in_window = (self.arrivals >= start) & (self.arrivals < end)
+        if factor < 1:
+            keep = ~in_window | (rng.random(len(self)) < factor)
+            arrivals = self.arrivals[keep]
+        else:
+            n_extra = rng.poisson((factor - 1.0) * int(in_window.sum()))
+            extra = rng.uniform(start, end, size=n_extra)
+            arrivals = np.sort(np.concatenate([self.arrivals, extra]))
+        return Trace(
+            name=f"{self.name}@{start:g}x{factor:g}",
+            arrivals=arrivals,
+            duration=self.duration,
+        )
+
     def scaled(self, factor: float) -> "Trace":
         """Trace with the arrival *rate* scaled by ``factor`` via thinning
         (factor < 1) or time compression is not used — rate scaling keeps

@@ -11,6 +11,7 @@ from repro.experiments.configs import (
     all_workloads,
     standard_config,
 )
+from repro.experiments import runner
 from repro.experiments.runner import (
     ExperimentConfig,
     build_cluster,
@@ -62,6 +63,72 @@ class TestConfig:
         )
         cluster = build_cluster(config, NaivePolicy())
         assert all(m.n_workers == 3 for m in cluster.modules.values())
+
+    def test_calibrated_rate_honours_int_workers(self):
+        """Regression: the int form of ``workers`` used to be ignored by
+        calibration, which silently assumed 2 workers per module."""
+
+        def rate(n: int) -> float:
+            return ExperimentConfig(
+                app="tm", trace="wiki", utilization=0.9, duration=10.0,
+                workers=n,
+            ).resolve_base_rate()
+
+        assert rate(4) == pytest.approx(4 * rate(1))
+        default = ExperimentConfig(
+            app="tm", trace="wiki", utilization=0.9, duration=10.0
+        ).resolve_base_rate()
+        assert rate(2) == pytest.approx(default)
+
+    def test_list_valued_trace_args_calibrate(self):
+        """The natural list form of generator kwargs must survive the
+        memoized (hash-keyed) pilot-shape lookup."""
+        config = ExperimentConfig(
+            app="tm", trace="step", utilization=0.9, duration=10.0,
+            trace_args={"rates": [[0.0, 1.0], [5.0, 2.0]]},
+        )
+        assert config.resolve_base_rate() > 0
+        assert len(config.resolve_trace()) > 0
+
+    def test_pilot_trace_generated_once(self, monkeypatch):
+        """Regression: every resolve_* call used to re-simulate the full
+        pilot trace; the shape factor is now memoized per
+        (trace, duration, seed)."""
+        runner._trace_shape_factor.cache_clear()
+        pilot_calls = []
+        real = runner.TRACES["wiki"]
+
+        def counting(*args, **kwargs):
+            if kwargs.get("base_rate") == 50.0:
+                pilot_calls.append("pilot")
+            return real(*args, **kwargs)
+
+        monkeypatch.setitem(runner.TRACES, "wiki", counting)
+        config = standard_config("tm", "wiki", duration=12.0)
+        config.resolve_workers()
+        config.resolve_base_rate()
+        config.resolve_trace()
+        assert len(pilot_calls) == 1
+
+    def test_reregistered_generator_invalidates_pilot_memo(self, monkeypatch):
+        """The memo keys on the generator object, so swapping the
+        implementation under the same name recalibrates."""
+        from repro.workload.generators import constant_trace
+
+        def slow(base_rate, duration, seed=0, name="wiki"):
+            return constant_trace(rate=base_rate, duration=duration,
+                                  name=name)
+
+        def fast(base_rate, duration, seed=0, name="wiki"):
+            return constant_trace(rate=2 * base_rate, duration=duration,
+                                  name=name)
+
+        config = standard_config("tm", "wiki", duration=10.0)
+        monkeypatch.setitem(runner.TRACES, "wiki", slow)
+        slow_rate = config.resolve_base_rate()
+        monkeypatch.setitem(runner.TRACES, "wiki", fast)
+        fast_rate = config.resolve_base_rate()
+        assert fast_rate == pytest.approx(slow_rate / 2, rel=0.05)
 
 
 class TestRunner:

@@ -7,11 +7,13 @@ import pickle
 import pytest
 
 from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scenario import Scenario
 from repro.experiments.sweep import (
     CellResult,
     SweepCell,
     cell_fingerprint,
     execute_cell,
+    prune_cache,
     run_sweep,
     summary_table,
     sweep_grid,
@@ -61,6 +63,19 @@ class TestFingerprint:
     def test_policy_sensitive(self):
         naive, nexus = tiny_cells(policies=("Naive", "Nexus"))
         assert cell_fingerprint(naive) != cell_fingerprint(nexus)
+
+    def test_canonical_over_numeric_spelling(self):
+        ints = SweepCell(
+            config=ExperimentConfig(app="tm", trace="tweet", base_rate=25,
+                                    duration=4, workers=2),
+            policy="Naive",
+        )
+        floats = SweepCell(
+            config=ExperimentConfig(app="tm", trace="tweet", base_rate=25.0,
+                                    duration=4.0, workers=2),
+            policy="Naive",
+        )
+        assert cell_fingerprint(ints) == cell_fingerprint(floats)
 
     def test_custom_objects_uncacheable(self):
         cell = SweepCell(
@@ -128,6 +143,94 @@ class TestCache:
         run_sweep(cells, workers=1, cache_dir=tmp_path,
                   on_event=lambda e: kinds.append(e.kind))
         assert kinds == ["cached"]
+
+
+class TestCellValidation:
+    def test_needs_exactly_one_of_config_or_scenario(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SweepCell()
+        with pytest.raises(ValueError, match="exactly one"):
+            SweepCell(config=tiny_cells()[0].config, policy="Naive",
+                      scenario=Scenario())
+
+    def test_config_cell_needs_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            SweepCell(config=tiny_cells()[0].config)
+
+    def test_scenario_cell_rejects_conflicting_policy(self):
+        scenario = Scenario(policy="PARD")
+        with pytest.raises(ValueError, match="conflicts"):
+            SweepCell(scenario=scenario, policy="Nexus")
+        assert SweepCell(scenario=scenario, policy="PARD").policy == "PARD"
+
+
+class TestPruneCache:
+    def test_prunes_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        bucket = tmp_path / ("a" * 16)
+        bucket.mkdir()
+        now = time.time()
+        for i, name in enumerate(["old", "mid", "new"]):
+            path = bucket / f"{name}.pkl"
+            path.write_bytes(b"x" * 100)
+            os.utime(path, (now + i, now + i))
+        freed = prune_cache(tmp_path, max_bytes=200)
+        assert freed == 100
+        assert not (bucket / "old.pkl").exists()
+        assert (bucket / "mid.pkl").exists()
+        assert (bucket / "new.pkl").exists()
+
+    def test_zero_budget_clears_and_removes_empty_buckets(self, tmp_path):
+        bucket = tmp_path / ("b" * 16)
+        bucket.mkdir()
+        (bucket / "x.pkl").write_bytes(b"x" * 10)
+        assert prune_cache(tmp_path, max_bytes=0) == 10
+        assert not bucket.exists()
+        assert tmp_path.exists()
+
+    def test_missing_dir_is_noop(self, tmp_path):
+        assert prune_cache(tmp_path / "absent", max_bytes=0) == 0
+
+    def test_cache_hits_refresh_mtime_for_lru_eviction(self, tmp_path):
+        import os
+        import time
+
+        cells = tiny_cells(policies=("Naive",))
+        run_sweep(cells, workers=1, cache_dir=tmp_path)
+        entry = next(tmp_path.rglob("*.pkl"))
+        old = time.time() - 3600
+        os.utime(entry, (old, old))
+        run_sweep(cells, workers=1, cache_dir=tmp_path)  # cache hit
+        assert entry.stat().st_mtime > old + 1800  # touched on hit
+
+    def test_orphaned_tmp_files_reclaimed(self, tmp_path):
+        import os
+        import time
+
+        bucket = tmp_path / ("c" * 16)
+        bucket.mkdir()
+        stale = bucket / "killed-writer.tmp"
+        stale.write_bytes(b"x" * 50)
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        fresh = bucket / "live-writer.tmp"
+        fresh.write_bytes(b"y" * 50)
+        prune_cache(tmp_path, max_bytes=1 << 20)
+        assert not stale.exists()  # orphan reclaimed despite budget room
+        assert fresh.exists()  # a concurrent writer's temp is untouched
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            prune_cache(tmp_path, max_bytes=-1)
+
+    def test_within_budget_untouched(self, tmp_path):
+        cells = tiny_cells(policies=("Naive",))
+        run_sweep(cells, workers=1, cache_dir=tmp_path)
+        assert prune_cache(tmp_path, max_bytes=1 << 30) == 0
+        again = run_sweep(cells, workers=1, cache_dir=tmp_path)
+        assert again[0].cached
 
 
 class TestFailureIsolation:

@@ -18,7 +18,7 @@ from repro.metrics.analysis import (
     summarize,
 )
 from repro.metrics.collector import MetricsCollector
-from repro.simulation.request import DropReason, Request, RequestStatus
+from repro.simulation.request import DropReason, Request
 
 
 def completed(sent_at: float, latency: float, slo: float = 1.0,

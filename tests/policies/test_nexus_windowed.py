@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.policies.naive import NaivePolicy
 from repro.policies.nexus import NexusPolicy
-from repro.simulation.request import Request, RequestStatus
+from repro.simulation.request import RequestStatus
 from repro.workload.generators import constant_trace, step_trace
 from repro.workload.replay import replay
 

@@ -70,6 +70,45 @@ class TestInjection:
             r.status is RequestStatus.COMPLETED for r in in_window
         )
 
+    def test_stranded_requests_redispatched_to_survivor(self):
+        """A killed worker's queued/forming/executing requests must move to
+        the surviving worker, not vanish."""
+        app = tiny_chain_app(n=2, slo=0.4)
+        cluster = make_cluster(NaivePolicy(), app=app, workers=2,
+                               batch_plan={"m1": 4, "m2": 4})
+        injector = FailureInjector(
+            cluster,
+            events=[FailureEvent(time=3.0, module_id="m1", workers=1,
+                                 downtime=2.0)],
+        )
+        injector.schedule_all()
+        probe: dict[str, int] = {}
+
+        def before() -> None:
+            m = cluster.modules["m1"]
+            # The injector kills via workers.pop() — the last worker.
+            probe["doomed_load"] = m.workers[-1].load
+            probe["survivor_load"] = m.workers[0].load
+
+        def after() -> None:
+            m = cluster.modules["m1"]
+            probe["workers_after"] = m.n_workers
+            probe["survivor_after"] = m.workers[0].load
+
+        cluster.sim.schedule(2.9995, before)
+        cluster.sim.schedule(3.0005, after)
+        replay(constant_trace(150.0, 8.0), cluster)
+        assert probe["workers_after"] == 1
+        assert probe["doomed_load"] > 0
+        # The survivor absorbed the stranded work (nothing was lost; at
+        # most one already-executing batch could complete in the 1 ms gap).
+        assert probe["survivor_after"] >= probe["doomed_load"]
+        # ... and every stranded request still finished by the end.
+        assert all(
+            r.status is RequestStatus.COMPLETED
+            for r in cluster.metrics.records
+        )
+
     def test_failure_causes_slo_violations_without_dropping(self):
         cluster, _ = run_with_failures(
             NaivePolicy(),

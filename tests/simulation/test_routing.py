@@ -14,7 +14,6 @@ from repro.simulation.routing import (
     PathRouter,
     ProbabilisticRouter,
     ResultDependentRouter,
-    StaticRouter,
 )
 
 from ..conftest import tiny_dag_app, tiny_registry

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.policies.naive import NaivePolicy
-from repro.simulation.request import Request, RequestStatus
+from repro.simulation.request import RequestStatus
 
 from ..conftest import make_cluster, tiny_chain_app
 

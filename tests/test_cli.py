@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,6 +14,14 @@ class TestParser:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "lv" in out and "PARD" in out and "Clipper++" in out
+
+    def test_list_enumerates_registries(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        # All three registries, including non-paper registered traces.
+        assert "da" in out and "gm" in out
+        assert "wiki" in out and "poisson" in out and "step" in out
+        assert "Nexus" in out and "ablations" in out
 
     def test_run_requires_valid_policy(self):
         with pytest.raises(SystemExit):
@@ -85,3 +95,117 @@ class TestSweepCommand:
     def test_sweep_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--policies", "NoSuchPolicy", "--duration", "5"])
+
+    def test_registered_traces_accepted_by_run(self, capsys):
+        """Everything `repro list` advertises must be runnable."""
+        rc = main([
+            "run", "--app", "tm", "--trace", "poisson", "--duration", "5",
+            "--policy", "Naive", "--no-scaling",
+        ])
+        assert rc == 0
+        assert "Naive" in capsys.readouterr().out
+
+
+SCENARIO = {
+    "name": "cli-test",
+    "app": {"name": "tm"},
+    "trace": {"name": "poisson", "base_rate": 30, "duration": 5},
+    "policy": "Naive",
+    "workers": 2,
+    "failures": [
+        {"time": 2.0, "module_id": "m1", "workers": 1, "downtime": 1.0}
+    ],
+}
+
+
+class TestScenarioCommands:
+    def scenario_file(self, tmp_path, spec=None):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec or SCENARIO))
+        return str(path)
+
+    def test_scenario_run(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--file", self.scenario_file(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-test-Naive-s0" in out
+        assert "fail m1" in out  # the failure log is printed
+
+    def test_scenario_sweep_uses_cache(self, capsys, tmp_path):
+        args = [
+            "scenario", "sweep", "--file", self.scenario_file(tmp_path),
+            "--policies", "Naive,Nexus", "--seeds", "0,1", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cli-test-Naive-s0" in out and "cli-test-Nexus-s1" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") == 4
+
+    def test_scenario_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["scenario", "run", "--file", str(tmp_path / "absent.json")])
+
+    def test_scenario_directory_path_rejected_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="invalid scenario"):
+            main(["scenario", "run", "--file", str(tmp_path)])
+
+    def test_scenario_invalid_spec_rejected(self, tmp_path):
+        bad = dict(SCENARIO, policy="NoSuchPolicy")
+        with pytest.raises(SystemExit, match="invalid scenario"):
+            main(["scenario", "run", "--file",
+                  self.scenario_file(tmp_path, bad)])
+
+    def test_scenario_unknown_trace_rejected_cleanly(self, tmp_path):
+        bad = dict(SCENARIO, trace={"name": "nosuch"})
+        with pytest.raises(SystemExit, match="unknown trace"):
+            main(["scenario", "run", "--file",
+                  self.scenario_file(tmp_path, bad)])
+
+    def test_scenario_unknown_app_rejected_cleanly(self, tmp_path):
+        bad = dict(SCENARIO, app={"name": "noapp"})
+        with pytest.raises(SystemExit, match="invalid scenario"):
+            main(["scenario", "run", "--file",
+                  self.scenario_file(tmp_path, bad)])
+
+    def test_scenario_malformed_section_rejected_cleanly(self, tmp_path):
+        for bad_section in (5, []):
+            bad = dict(SCENARIO, scaling=bad_section)
+            with pytest.raises(SystemExit, match="invalid scenario"):
+                main(["scenario", "run", "--file",
+                      self.scenario_file(tmp_path, bad)])
+
+    def test_max_cache_mb_prunes_even_with_no_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        run_args = [
+            "scenario", "sweep", "--file", self.scenario_file(tmp_path),
+            "--workers", "1", "--cache-dir", str(cache), "--quiet",
+        ]
+        assert main(run_args) == 0  # populates the cache
+        assert list(cache.rglob("*.pkl"))
+        assert main(run_args + ["--no-cache", "--max-cache-mb", "0"]) == 0
+        capsys.readouterr()
+        assert list(cache.rglob("*.pkl")) == []
+
+    def test_negative_max_cache_mb_rejected_at_parse_time(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "scenario", "sweep", "--file", "x.json",
+                "--max-cache-mb", "-1",
+            ])
+
+    def test_scenario_sweep_rejects_unknown_policy(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown policies"):
+            main(["scenario", "sweep", "--file",
+                  self.scenario_file(tmp_path), "--policies", "Bogus"])
+
+    def test_example_scenario_file_runs(self, capsys):
+        from pathlib import Path
+
+        example = (Path(__file__).resolve().parent.parent
+                   / "examples" / "scenarios" / "burst_failure.json")
+        rc = main(["scenario", "run", "--file", str(example)])
+        assert rc == 0
+        assert "burst-failure" in capsys.readouterr().out

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.policy import PardPolicy
 from repro.experiments import ExperimentConfig, build_cluster, run_experiment
 from repro.metrics import summarize
