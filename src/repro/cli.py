@@ -22,8 +22,14 @@ from .experiments.configs import (
     make_policy,
     standard_config,
 )
-from .experiments.runner import run_experiment, run_scenario
-from .experiments.scenario import Scenario, scenario_grid
+from .experiments.runner import run_experiment, run_multi_scenario, run_scenario
+from .experiments.scenario import (
+    MultiScenario,
+    Scenario,
+    load_scenario_file,
+    multi_scenario_grid,
+    scenario_grid,
+)
 from .experiments.sweep import (
     SweepEvent,
     prune_cache,
@@ -32,7 +38,12 @@ from .experiments.sweep import (
     summary_table,
     sweep_grid,
 )
-from .metrics.report import comparison_table, per_module_drop_table
+from .metrics.report import (
+    comparison_table,
+    per_app_drop_table,
+    per_app_table,
+    per_module_drop_table,
+)
 from .pipeline.applications import known_applications
 from .policies.ablations import ABLATIONS
 from .policies.base import DropPolicy
@@ -177,9 +188,10 @@ def _run_cells(cells, args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _load_scenario(path: str) -> Scenario:
+def _load_scenario(path: str) -> Scenario | MultiScenario:
+    """Load and validate either scenario schema (auto-detected)."""
     try:
-        return Scenario.from_file(path).validate()
+        return load_scenario_file(path).validate()
     except FileNotFoundError:
         raise SystemExit(f"scenario file not found: {path}") from None
     except (ValueError, KeyError, TypeError, OSError) as exc:
@@ -188,6 +200,20 @@ def _load_scenario(path: str) -> Scenario:
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
     scenario = _load_scenario(args.file)
+    if isinstance(scenario, MultiScenario):
+        result = run_multi_scenario(scenario)
+        pools = ", ".join(result.pool_ids)
+        print(f"shared cluster {scenario.label()}: "
+              f"{len(scenario.tenants)} apps over pools [{pools}]")
+        print(per_app_table(result.summaries, markdown=args.markdown))
+        print()
+        print(per_app_drop_table(result, markdown=args.markdown))
+        agg = result.aggregate
+        print(f"\naggregate: goodput {agg.goodput:.1f}/s "
+              f"drop {agg.drop_rate:.2%} invalid {agg.invalid_rate:.2%}")
+        for line in result.failure_log:
+            print(f"  {line}")
+        return 0
     result = run_scenario(scenario)
     trace = result.trace
     print(f"scenario {scenario.label()}: trace {trace.name} "
@@ -207,9 +233,11 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
     policies = _csv(args.policies)
     _check_policies(policies)
     seeds = _parse_seeds(args.seeds)
-    cells = scenario_cells(scenario_grid(scenario, policies=policies,
-                                         seeds=seeds))
-    return _run_cells(cells, args)
+    if isinstance(scenario, MultiScenario):
+        grid = multi_scenario_grid(scenario, policies=policies, seeds=seeds)
+    else:
+        grid = scenario_grid(scenario, policies=policies, seeds=seeds)
+    return _run_cells(scenario_cells(grid), args)
 
 
 def cmd_list(args: argparse.Namespace) -> int:

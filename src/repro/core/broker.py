@@ -54,12 +54,16 @@ class RequestBroker:
     def estimate(self, ctx: DropContext) -> LatencyEstimate:
         """End-to-end latency estimate for the request in ``ctx``."""
         backward = ctx.expected_start - ctx.request.sent_at
+        assert self.planner.cluster is not None
+        # Translate the data-plane module to this pipeline's DAG position:
+        # in a shared cluster the pool id is not the tenant's module id.
+        module_id = self.planner.cluster.hop_id(ctx.module)
         if self.sub_mode == SubMode.NONE:
             sub = 0.0
         elif self.sub_mode == SubMode.DURATIONS:
-            sub = self._durations_only(ctx.module.spec.id)
+            sub = self._durations_only(module_id)
         else:
-            sub = self.planner.sub_estimate(ctx.module.spec.id)
+            sub = self.planner.sub_estimate(module_id)
         return LatencyEstimate(
             backward=backward, current_exec=ctx.batch_duration, sub=sub
         )

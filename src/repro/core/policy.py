@@ -101,7 +101,10 @@ class PardPolicy(DropPolicy):
         # the current module's execution against the budget allocated to
         # modules 1..k — they never see downstream state (the point of the
         # ablation).
-        budget = self._cumulative_budget(ctx.module.spec.id, ctx.slo)
+        assert self.cluster is not None
+        budget = self._cumulative_budget(
+            self.cluster.hop_id(ctx.module), ctx.slo
+        )
         if ctx.elapsed + ctx.batch_duration > budget:
             return DropReason.BUDGET_EXCEEDED
         return None

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from typing import Callable, Sequence
 
-from ..metrics.analysis import Summary, summarize
+from ..metrics.analysis import Summary, merge_collectors, summarize
 from ..metrics.collector import MetricsCollector
 from ..pipeline.applications import Application, get_application
 from ..pipeline.profiles import DEFAULT_PROFILES, ProfileRegistry
@@ -25,10 +25,17 @@ from ..simulation.engine import Simulator
 from ..simulation.failures import FailureEvent, FailureInjector
 from ..simulation.rng import RngStreams
 from ..simulation.scaling import ReactiveScaler
+from ..simulation.tenancy import SharedCluster, Tenant
 from ..workload.generators import TRACES, get_trace
 from ..workload.replay import replay
 from ..workload.trace import Trace
-from .scenario import Scenario, ScalingSpec, _thaw, freeze_trace_args
+from .scenario import (
+    MultiScenario,
+    Scenario,
+    ScalingSpec,
+    _thaw,
+    freeze_trace_args,
+)
 
 PolicyFactory = Callable[[int], DropPolicy]
 
@@ -344,6 +351,154 @@ def run_scenario(scenario: Scenario) -> ExperimentResult:
         failures=scenario.failures,
         scaling=scenario.scaling,
         trace=trace,
+    )
+
+
+@dataclass
+class MultiResult:
+    """Output of one shared-cluster run: per-app books plus the aggregate.
+
+    ``summaries``/``collectors``/``traces`` are keyed by tenant label in
+    declaration order; ``aggregate`` summarises every tenant's records
+    together over the longest trace duration.
+    """
+
+    multi: MultiScenario
+    summaries: dict[str, Summary]
+    collectors: dict[str, MetricsCollector]
+    aggregate: Summary
+    cluster: SharedCluster
+    traces: dict[str, Trace]
+    failure_log: list[str] = field(default_factory=list)
+
+    @property
+    def pool_ids(self) -> list[str]:
+        return self.cluster.pool_ids()
+
+
+def _tenant_workload(
+    scenario: Scenario, seed: int, weight: float
+) -> tuple[Trace, Trace]:
+    """(base trace, composed trace) for one tenant.
+
+    Mirrors :func:`run_scenario`'s trace path exactly — same generator,
+    args, scale and overlay order — so a tenant served alone and the same
+    tenant on an uncontended shared cluster replay the identical workload.
+    ``weight`` scales the declared base rate; ``seed`` is the effective
+    (shared-seed-shifted) tenant seed.
+    """
+    config = scenario_config(scenario)
+    config.seed = seed
+    if weight != 1.0:
+        config.base_rate = config.base_rate * weight
+    base = config.resolve_trace()
+    trace = scenario.trace.overlay(base, default_seed=seed)
+    return base, trace
+
+
+def _provision_pools(
+    multi: MultiScenario,
+    registry: ProfileRegistry,
+    tenants: Sequence[Tenant],
+    base_rates: dict[str, float],
+) -> dict[str, int]:
+    """Workers per pool sized for the aggregate steady (pre-burst) load.
+
+    Every (tenant, module) member of a pool contributes its tenant's base
+    mean rate — on a static DAG each request visits every hop — and the
+    pool is provisioned for the sum at its (tightest-tenant) target batch,
+    matching the single-app rule that bursts stay unprovisioned-for.
+    ``tenants`` carry the already-resolved apps and batch plans.
+    """
+    from ..simulation.tenancy import assign_pools
+
+    pools, _ = assign_pools([(t.name, t.app) for t in tenants])
+    plans = {t.name: t.batch_plan for t in tenants}
+    out: dict[str, int] = {}
+    for key, pool in pools.items():
+        batch = min(plans[tname][mid] for tname, mid in pool.members)
+        rate = sum(base_rates[tname] for tname, _ in pool.members)
+        per_worker = registry.get(pool.model).throughput(batch)
+        need = rate * multi.provision_headroom / per_worker
+        out[key] = max(1, int(need) + (0 if need == int(need) else 1))
+    return out
+
+
+def run_multi_scenario(multi: MultiScenario) -> MultiResult:
+    """Run one declarative shared-cluster scenario end to end.
+
+    Each tenant's workload, policy and seed resolve exactly as in
+    :func:`run_scenario`; the cluster layer is shared — pools assigned by
+    model profile, one reactive scaler and failure schedule over the pools,
+    per-app metrics collected on the tenant views.
+    """
+    multi.validate()
+    registry = multi.build_registry()
+    tenants: list[Tenant] = []
+    traces: dict[str, Trace] = {}
+    base_rates: dict[str, float] = {}
+    for tenant_spec in multi.tenants:
+        s = tenant_spec.scenario
+        label = tenant_spec.label()
+        seed = multi.tenant_seed(tenant_spec)
+        base, trace = _tenant_workload(s, seed, tenant_spec.weight)
+        traces[label] = trace
+        base_rates[label] = base.mean_rate
+        # Resolve the app and its batch plan once here; provisioning and
+        # SharedCluster consume them instead of re-deriving per stage.
+        app = s.build_application()
+        tenants.append(
+            Tenant(
+                name=label,
+                app=app,
+                policy=make_policy(s.policy, seed),
+                batch_plan=plan_batch_sizes(app.spec, registry, app.slo),
+            )
+        )
+    if multi.workers is not None:
+        workers: int | dict[str, int] = multi.workers
+    else:
+        workers = _provision_pools(multi, registry, tenants, base_rates)
+    sim = Simulator()
+    cluster = SharedCluster(
+        sim=sim,
+        tenants=tenants,
+        workers=workers,
+        registry=registry,
+        rng=RngStreams(seed=multi.seed),
+        sync_interval=multi.sync_interval,
+        stats_window=multi.stats_window,
+    )
+    if multi.scaling.enabled:
+        knobs = {f.name: getattr(multi.scaling, f.name)
+                 for f in fields(multi.scaling) if f.name != "enabled"}
+        ReactiveScaler(cluster, **knobs).start()
+    injector = None
+    if multi.failures:
+        injector = FailureInjector(cluster, events=list(multi.failures))
+        injector.schedule_all()
+    for tenant in tenants:
+        for t in traces[tenant.name].arrivals:
+            cluster.submit_at(tenant.name, float(t))
+    cluster.start_ticks()
+    sim.run(until=multi.duration() + multi.drain)
+    cluster.stop_ticks()
+    sim.run()
+    collectors = {t.name: t.metrics for t in tenants}
+    summaries = {
+        name: summarize(coll, duration=traces[name].duration)
+        for name, coll in collectors.items()
+    }
+    aggregate = summarize(merge_collectors(collectors),
+                          duration=multi.duration())
+    return MultiResult(
+        multi=multi,
+        summaries=summaries,
+        collectors=collectors,
+        aggregate=aggregate,
+        cluster=cluster,
+        traces=traces,
+        failure_log=list(injector.log) if injector is not None else [],
     )
 
 

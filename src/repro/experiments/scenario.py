@@ -41,9 +41,14 @@ from ..workload.trace import Trace
 __all__ = [
     "AppSpec",
     "BurstSpec",
+    "MultiScenario",
     "Scenario",
     "ScalingSpec",
+    "TenantSpec",
     "TraceSpec",
+    "load_scenario_file",
+    "multi_scenario_grid",
+    "scenario_from_dict",
     "scenario_grid",
 ]
 
@@ -751,6 +756,356 @@ class Scenario:
         blob = json.dumps(_canonical(self.to_dict()), sort_keys=True,
                           separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One weighted tenant of a shared-cluster scenario.
+
+    ``weight`` scales the tenant's trace rate, so a two-tenant spec with
+    weights 2.0 and 1.0 declares a 2:1 traffic split without re-authoring
+    either tenant's trace.  The wrapped :class:`Scenario` contributes the
+    app, trace shape, policy and seed; cluster-level knobs (workers,
+    scaling, failures, calibration) live on the enclosing
+    :class:`MultiScenario` and are rejected on tenants.
+    """
+
+    scenario: Scenario
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scenario, dict):
+            object.__setattr__(
+                self, "scenario", Scenario.from_dict(self.scenario)
+            )
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+
+    def label(self) -> str:
+        """The tenant's identity inside the shared cluster."""
+        s = self.scenario
+        return s.name or s.app.name or s.app.pipeline
+
+    def to_dict(self) -> dict:
+        return {"weight": self.weight, "scenario": self.scenario.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        _check_keys(data, {"weight", "scenario"}, "tenant")
+        if "scenario" not in data:
+            raise ValueError("tenant entry missing required key 'scenario'")
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            weight=float(data.get("weight", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class MultiScenario:
+    """A shared cluster serving several weighted tenant scenarios.
+
+    The multi-tenant unit of declaration: N tenants (each a full
+    :class:`Scenario` minus the cluster-level knobs) contending for one
+    set of shared, name-keyed worker pools (see
+    :func:`repro.simulation.tenancy.assign_pools`).  ``workers`` and
+    ``failures`` are keyed by *pool* id (normally the model name), and one
+    :class:`ScalingSpec` governs every pool.  Like :class:`Scenario` it is
+    plain data end to end: dict/JSON round-trips, pickles into sweep
+    workers and fingerprints into the disk cache.
+    """
+
+    tenants: tuple[TenantSpec, ...] = ()
+    workers: int | dict[str, int] | None = None  # keyed by pool id
+    scaling: ScalingSpec = field(default_factory=ScalingSpec)
+    failures: tuple[FailureEvent, ...] = ()  # module_id is a pool id
+    provision_headroom: float = 1.0
+    sync_interval: float = 1.0
+    stats_window: float = 5.0
+    drain: float = 5.0
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "tenants",
+            tuple(
+                t if isinstance(t, TenantSpec) else TenantSpec.from_dict(t)
+                for t in self.tenants
+            ),
+        )
+        if not self.tenants:
+            raise ValueError("a multi scenario needs at least one tenant")
+        if isinstance(self.workers, dict):
+            for key, value in self.workers.items():
+                if int(value) != value:
+                    raise ValueError(
+                        f"workers[{key!r}] must be an integer, got {value}"
+                    )
+            object.__setattr__(
+                self,
+                "workers",
+                {str(k): int(v) for k, v in self.workers.items()},
+            )
+        elif self.workers is not None:
+            if int(self.workers) != self.workers:
+                raise ValueError(
+                    f"workers must be an integer, got {self.workers}"
+                )
+            object.__setattr__(self, "workers", int(self.workers))
+        if isinstance(self.scaling, dict):
+            object.__setattr__(
+                self, "scaling", ScalingSpec.from_dict(self.scaling)
+            )
+        object.__setattr__(
+            self,
+            "failures",
+            tuple(
+                e if isinstance(e, FailureEvent) else FailureEvent.from_dict(e)
+                for e in self.failures
+            ),
+        )
+        if self.provision_headroom <= 0:
+            raise ValueError("provision_headroom must be > 0")
+        if self.sync_interval <= 0:
+            raise ValueError("sync_interval must be > 0")
+        if self.stats_window <= 0:
+            raise ValueError("stats_window must be > 0")
+        if self.drain < 0:
+            raise ValueError("drain must be >= 0")
+
+    def label(self) -> str:
+        base = self.name or "+".join(t.label() for t in self.tenants)
+        return f"{base}-s{self.seed}"
+
+    def tenant_names(self) -> list[str]:
+        return [t.label() for t in self.tenants]
+
+    def tenant_seed(self, tenant: TenantSpec) -> int:
+        """Effective seed of one tenant: its own, shifted by the shared seed.
+
+        Sweeping the multi scenario over seeds re-seeds every tenant
+        together while preserving their declared offsets.
+        """
+        return tenant.scenario.seed + self.seed
+
+    def duration(self) -> float:
+        """Shared-cluster run length: the longest tenant trace."""
+        return max(t.scenario.trace.duration for t in self.tenants)
+
+    # -- resolution --------------------------------------------------------
+
+    def pool_layout(self):
+        """(pools by key, pool key by (tenant label, module id)).
+
+        Resolves every tenant application; raises on broken references.
+        """
+        from ..simulation.tenancy import assign_pools
+
+        return assign_pools(
+            [(t.label(), t.scenario.build_application()) for t in self.tenants]
+        )
+
+    def build_registry(self) -> ProfileRegistry:
+        """One registry for the whole cluster: defaults + every tenant's
+        extras (conflicting redefinitions are rejected by validate())."""
+        merged = {
+            name: DEFAULT_PROFILES.get(name) for name in DEFAULT_PROFILES.names()
+        }
+        for tenant in self.tenants:
+            for profile in tenant.scenario.app.profiles:
+                merged[profile.name] = profile
+        return ProfileRegistry(list(merged.values()))
+
+    def validate(self) -> "MultiScenario":
+        """Resolve every reference and cross-tenant constraint up front."""
+        labels = [t.label() for t in self.tenants]
+        dupes = sorted({x for x in labels if labels.count(x) > 1})
+        if dupes:
+            raise ValueError(
+                f"tenant labels must be unique, got duplicates: {dupes}; "
+                "give tenants distinct scenario names"
+            )
+        for tenant in self.tenants:
+            s = tenant.scenario
+            where = f"tenant {tenant.label()!r}"
+            if s.workers is not None:
+                raise ValueError(
+                    f"{where} sets workers; provisioning is cluster-level "
+                    "on a shared cluster (set MultiScenario.workers)"
+                )
+            if s.scaling.enabled:
+                raise ValueError(
+                    f"{where} enables scaling; the shared cluster scales "
+                    "pools (set MultiScenario.scaling)"
+                )
+            if s.failures:
+                raise ValueError(
+                    f"{where} declares failures; shared-cluster failures "
+                    "are pool-keyed (set MultiScenario.failures)"
+                )
+            if s.utilization is not None or s.provision_rate is not None:
+                raise ValueError(
+                    f"{where} sets utilization/provision_rate; calibration "
+                    "is ambiguous across tenants — give the trace an "
+                    "explicit base_rate instead"
+                )
+            s.validate()
+        seen: dict[str, object] = {}
+        for tenant in self.tenants:
+            for profile in tenant.scenario.app.profiles:
+                other = seen.get(profile.name)
+                if other is not None and other != profile:
+                    raise ValueError(
+                        f"conflicting definitions of model profile "
+                        f"{profile.name!r} across tenants"
+                    )
+                seen[profile.name] = profile
+        pools, _ = self.pool_layout()
+        if isinstance(self.workers, dict):
+            unknown = set(self.workers) - set(pools)
+            if unknown:
+                raise ValueError(
+                    f"workers reference unknown pools: {sorted(unknown)}; "
+                    f"pools: {sorted(pools)}"
+                )
+            missing = set(pools) - set(self.workers)
+            if missing:
+                raise ValueError(
+                    f"workers must cover every pool; missing: "
+                    f"{sorted(missing)}"
+                )
+            bad = sorted(k for k, v in self.workers.items() if v < 1)
+            if bad:
+                raise ValueError(f"workers must be >= 1; got less for: {bad}")
+        elif self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        duration = self.duration()
+        for event in self.failures:
+            if event.module_id not in pools:
+                raise ValueError(
+                    f"failure event at t={event.time} references unknown "
+                    f"pool {event.module_id!r}; pools: {sorted(pools)}"
+                )
+            if event.time >= duration:
+                raise ValueError(
+                    f"failure event at t={event.time} falls outside the "
+                    f"longest trace duration {duration}"
+                )
+        return self
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "tenants": [t.to_dict() for t in self.tenants],
+            "workers": (
+                dict(self.workers) if isinstance(self.workers, dict)
+                else self.workers
+            ),
+            "scaling": self.scaling.to_dict(),
+            "failures": [e.to_dict() for e in self.failures],
+            "provision_headroom": self.provision_headroom,
+            "sync_interval": self.sync_interval,
+            "stats_window": self.stats_window,
+            "drain": self.drain,
+            "seed": self.seed,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MultiScenario":
+        _check_keys(
+            data,
+            {
+                "tenants", "workers", "scaling", "failures",
+                "provision_headroom", "sync_interval", "stats_window",
+                "drain", "seed", "name",
+            },
+            "multi scenario",
+        )
+        return cls(
+            tenants=tuple(
+                TenantSpec.from_dict(t) for t in data.get("tenants", [])
+            ),
+            workers=data.get("workers"),
+            scaling=ScalingSpec.from_dict(data.get("scaling", {})),
+            failures=tuple(
+                FailureEvent.from_dict(e) for e in data.get("failures", [])
+            ),
+            provision_headroom=float(data.get("provision_headroom", 1.0)),
+            sync_interval=float(data.get("sync_interval", 1.0)),
+            stats_window=float(data.get("stats_window", 5.0)),
+            drain=float(data.get("drain", 5.0)),
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MultiScenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "MultiScenario":
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the full spec (cache identity)."""
+        blob = json.dumps(_canonical(self.to_dict()), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scenario_from_dict(data: dict) -> "Scenario | MultiScenario":
+    """Parse either schema, auto-detected.
+
+    A mapping with a ``tenants`` key is a :class:`MultiScenario`; anything
+    else is a single-app :class:`Scenario`.  The CLI and loaders use this
+    so one ``--file`` flag serves both shapes.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"scenario file must hold a JSON object, got {type(data).__name__}"
+        )
+    if "tenants" in data:
+        return MultiScenario.from_dict(data)
+    return Scenario.from_dict(data)
+
+
+def load_scenario_file(path: str | Path) -> "Scenario | MultiScenario":
+    """Load a scenario file of either schema (see :func:`scenario_from_dict`)."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+def multi_scenario_grid(
+    base: MultiScenario,
+    policies: Iterable[str] | None = None,
+    seeds: Iterable[int] | None = None,
+) -> list[MultiScenario]:
+    """Expand a multi scenario over policies x seeds.
+
+    A policy applies to *every* tenant (the sweep axis compares systems,
+    matching :func:`scenario_grid`); a seed replaces the shared seed, which
+    shifts all tenants together via :meth:`MultiScenario.tenant_seed`.
+    Empty or ``None`` axes fall back to the base values.
+    """
+    policy_list = list(policies) if policies is not None else []
+    seed_list = list(seeds) if seeds is not None else []
+    out: list[MultiScenario] = []
+    for policy in (policy_list or [None]):
+        tenants = base.tenants if policy is None else tuple(
+            replace(t, scenario=replace(t.scenario, policy=policy))
+            for t in base.tenants
+        )
+        for seed in (seed_list or [base.seed]):
+            out.append(replace(base, tenants=tenants, seed=seed))
+    return out
 
 
 def scenario_grid(

@@ -46,8 +46,13 @@ from typing import Callable, Iterable, Sequence
 from ..metrics.analysis import Summary
 from ..metrics.collector import MetricsCollector
 from .configs import standard_config
-from .runner import ExperimentConfig, run_experiment, run_scenario
-from .scenario import Scenario, _canonical
+from .runner import (
+    ExperimentConfig,
+    run_experiment,
+    run_multi_scenario,
+    run_scenario,
+)
+from .scenario import MultiScenario, Scenario, _canonical
 
 #: Fingerprint schema version; bump when the cached payload shape changes.
 _CACHE_SCHEMA = 2
@@ -77,20 +82,25 @@ def _source_digest() -> str:
 class SweepCell:
     """One unit of sweep work.
 
-    Either a config plus a registered policy name (the classic form), or a
+    A config plus a registered policy name (the classic form), a
     declarative :class:`~repro.experiments.scenario.Scenario` — which also
-    covers custom pipelines, composed traces and failure schedules, all of
-    it picklable into workers and fingerprintable into the cache.
+    covers custom pipelines, composed traces and failure schedules — or a
+    shared-cluster :class:`~repro.experiments.scenario.MultiScenario`, all
+    of it picklable into workers and fingerprintable into the cache.
     """
 
     config: ExperimentConfig | None = None
     policy: str = ""
     scenario: Scenario | None = None
+    multi: MultiScenario | None = None
 
     def __post_init__(self) -> None:
-        if (self.config is None) == (self.scenario is None):
+        forms = sum(
+            x is not None for x in (self.config, self.scenario, self.multi)
+        )
+        if forms != 1:
             raise ValueError(
-                "a sweep cell needs exactly one of: config, scenario"
+                "a sweep cell needs exactly one of: config, scenario, multi"
             )
         if self.config is not None and not self.policy:
             raise ValueError("config cells need a policy name")
@@ -103,10 +113,23 @@ class SweepCell:
                     f"policy {self.scenario.policy!r}"
                 )
             object.__setattr__(self, "policy", self.scenario.policy)
+        if self.multi is not None:
+            # One label covering every tenant's policy (dedup, stable order).
+            joined = "+".join(dict.fromkeys(
+                t.scenario.policy for t in self.multi.tenants
+            ))
+            if self.policy and self.policy != joined:
+                raise ValueError(
+                    f"cell policy {self.policy!r} conflicts with tenant "
+                    f"policies {joined!r}"
+                )
+            object.__setattr__(self, "policy", joined)
 
     def label(self) -> str:
         if self.scenario is not None:
             return self.scenario.label()
+        if self.multi is not None:
+            return self.multi.label()
         c = self.config
         return f"{c.app}-{c.trace}-{self.policy}-s{c.seed}"
 
@@ -123,6 +146,9 @@ class CellResult:
     elapsed: float
     cached: bool = False
     error: str | None = None
+    #: Shared-cluster cells only: per-app summaries keyed by tenant label
+    #: (``summary``/``collector`` then hold the aggregate across apps).
+    per_app: dict[str, Summary] | None = None
 
     @property
     def ok(self) -> bool:
@@ -165,9 +191,15 @@ def sweep_grid(
     ]
 
 
-def scenario_cells(scenarios: Iterable[Scenario]) -> list[SweepCell]:
-    """Wrap declarative scenarios as sweep cells."""
-    return [SweepCell(scenario=scenario) for scenario in scenarios]
+def scenario_cells(
+    scenarios: "Iterable[Scenario | MultiScenario]",
+) -> list[SweepCell]:
+    """Wrap declarative scenarios (either schema) as sweep cells."""
+    return [
+        SweepCell(multi=s) if isinstance(s, MultiScenario)
+        else SweepCell(scenario=s)
+        for s in scenarios
+    ]
 
 
 def _registry_fingerprint(config: ExperimentConfig) -> list[list]:
@@ -219,7 +251,14 @@ def cell_fingerprint(cell: SweepCell) -> str | None:
 
     payload: dict = {"schema": _CACHE_SCHEMA, "version": __version__,
                      "source": _source_digest(), "policy": cell.policy}
-    if cell.scenario is not None:
+    if cell.multi is not None:
+        for tenant in cell.multi.tenants:
+            s = tenant.scenario
+            if _references_external_components(s.trace.name, s.app.name,
+                                               s.policy):
+                return None
+        payload["multi"] = cell.multi.fingerprint()
+    elif cell.scenario is not None:
         s = cell.scenario
         if _references_external_components(s.trace.name, s.app.name, s.policy):
             return None
@@ -251,17 +290,23 @@ class SweepCache:
 
     Entries live under a per-source-digest subdirectory.  A source edit
     changes every fingerprint, so entries written by older code can never
-    hit again; grouping by digest lets :meth:`prune_stale` reclaim them
-    instead of letting the directory grow without bound.
+    hit again.  Stale buckets are *not* reclaimed eagerly: two checkouts
+    sharing one cache dir would otherwise evict each other's results on
+    every branch switch.  Reclamation is deferred to :func:`prune_cache`'s
+    size budget (``--max-cache-mb``), whose oldest-first eviction drops
+    cold buckets once the cache actually outgrows its bound.
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.base = Path(root)
         self.root = self.base / _source_digest()[:16]
-        self.prune_stale()
 
     def prune_stale(self) -> None:
-        """Drop subdirectories written by source trees other than ours."""
+        """Drop subdirectories written by source trees other than ours.
+
+        Kept for callers that want the old eager reclamation; the cache no
+        longer runs this on construction (see the class docstring).
+        """
         if not self.base.is_dir():
             return
         for entry in self.base.iterdir():
@@ -368,6 +413,19 @@ def execute_cell(cell: SweepCell) -> CellResult:
     """
     t0 = time.perf_counter()
     try:
+        if cell.multi is not None:
+            multi = run_multi_scenario(cell.multi)
+            from ..metrics.analysis import merge_collectors
+
+            return CellResult(
+                cell=cell,
+                policy_name=cell.policy,
+                summary=multi.aggregate,
+                collector=merge_collectors(multi.collectors),
+                module_ids=list(multi.pool_ids),
+                elapsed=time.perf_counter() - t0,
+                per_app=dict(multi.summaries),
+            )
         if cell.scenario is not None:
             result = run_scenario(cell.scenario)
         else:
@@ -501,6 +559,17 @@ def summary_table(results: Sequence[CellResult], markdown: bool = False) -> str:
                 f"{s.invalid_rate:.2%}",
                 f"{r.elapsed:.1f}s",
             ])
+            # Shared-cluster cells: one indented row per tenant app under
+            # the aggregate, so sweeps surface the per-app breakdown too.
+            for app, app_summary in (r.per_app or {}).items():
+                rows.append([
+                    f"  - {app}",
+                    "app",
+                    f"{app_summary.goodput:.1f}",
+                    f"{app_summary.drop_rate:.2%}",
+                    f"{app_summary.invalid_rate:.2%}",
+                    "",
+                ])
         else:
             first_line = (r.error or "").strip().splitlines()[-1:] or ["?"]
             rows.append([r.cell.label(), "ERROR", "-", "-", "-", first_line[0][:40]])

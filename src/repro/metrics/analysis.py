@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -66,6 +66,47 @@ def summarize(collector: MetricsCollector, duration: float | None = None) -> Sum
         goodput=good / duration,
         mean_goodput_normalized=good / total,
     )
+
+
+def merge_collectors(
+    collectors: "Mapping[str, MetricsCollector] | Sequence[MetricsCollector]",
+) -> MetricsCollector:
+    """One collector holding every input collector's records.
+
+    The aggregate view of a shared (multi-tenant) cluster run: all the
+    per-window and per-module analyses in this module work unchanged on
+    the merged records.  Records are concatenated in input order; the
+    originals are not modified.
+    """
+    if isinstance(collectors, Mapping):
+        parts = list(collectors.values())
+    else:
+        parts = list(collectors)
+    merged = MetricsCollector()
+    for collector in parts:
+        merged.records.extend(collector.records)
+        merged.submitted += collector.submitted
+    return merged
+
+
+def per_app_summaries(
+    collectors: Mapping[str, MetricsCollector],
+    durations: "Mapping[str, float] | float | None" = None,
+) -> dict[str, Summary]:
+    """Per-application :class:`Summary` for a shared-cluster run.
+
+    ``durations`` normalises each app's goodput: a mapping gives each app
+    its own trace duration, a scalar applies to all, ``None`` falls back
+    to each collector's observed send-time span.
+    """
+    out: dict[str, Summary] = {}
+    for name, collector in collectors.items():
+        if isinstance(durations, Mapping):
+            duration = durations.get(name)
+        else:
+            duration = durations
+        out[name] = summarize(collector, duration=duration)
+    return out
 
 
 def _window_edges(records: list[RequestRecord], window: float) -> np.ndarray:

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
-from .analysis import drops_per_module
+from .analysis import Summary, drops_per_module
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..experiments.runner import ExperimentResult
+    from ..experiments.runner import ExperimentResult, MultiResult
 
 
 def format_table(
@@ -66,6 +66,38 @@ def comparison_table(
             str(s.good),
             str(s.total),
         ])
+    return format_table(headers, rows, markdown=markdown)
+
+
+def per_app_table(
+    summaries: "dict[str, Summary]", markdown: bool = False
+) -> str:
+    """Per-application breakdown of a shared-cluster run."""
+    headers = ["app", "goodput (req/s)", "drop rate", "invalid rate",
+               "good", "total"]
+    rows = []
+    for label, s in summaries.items():
+        rows.append([
+            label,
+            f"{s.goodput:.1f}",
+            pct(s.drop_rate),
+            pct(s.invalid_rate),
+            str(s.good),
+            str(s.total),
+        ])
+    return format_table(headers, rows, markdown=markdown)
+
+
+def per_app_drop_table(
+    result: "MultiResult", markdown: bool = False
+) -> str:
+    """Share of each app's explicit drops at each shared pool."""
+    pool_ids = result.pool_ids
+    headers = ["app", *pool_ids]
+    rows = []
+    for label, collector in result.collectors.items():
+        shares = drops_per_module(collector, pool_ids)
+        rows.append([label, *(pct(shares[p]) for p in pool_ids)])
     return format_table(headers, rows, markdown=markdown)
 
 

@@ -42,7 +42,8 @@ class ClipperPlusPlusPolicy(DropPolicy):
         return max(shares[p] + self._best_upstream(p, shares) for p in preds)
 
     def should_drop(self, ctx: DropContext) -> DropReason | None:
-        budget = self._cum_budget[ctx.module.spec.id]
+        assert self.cluster is not None
+        budget = self._cum_budget[self.cluster.hop_id(ctx.module)]
         if ctx.now - ctx.request.sent_at > budget:
             return DropReason.ALREADY_EXPIRED
         return None

@@ -76,7 +76,7 @@ class _NexusScanQueue(RequestQueue):
         # queue cannot know which worker pops, so it uses its own module's
         # earliest expected start.
         t_e = min((w.expected_start for w in module.workers), default=now)
-        return max(t_e, now) - request.sent_at + d_k <= module.cluster.slo
+        return max(t_e, now) - request.sent_at + d_k <= request.slo
 
     def pop(self, now: float) -> Request | None:
         module = self._module

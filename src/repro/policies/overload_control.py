@@ -55,7 +55,7 @@ class OverloadControlPolicy(DropPolicy):
     def on_admit(self, request: Request, module, now: float) -> DropReason | None:
         # Throttle only at the pipeline entry — DAGOR sheds upstream so
         # no downstream work is wasted on rejected requests.
-        if module.spec.id != self.cluster.entry_id:
+        if not self.cluster.is_entry_module(module):
             return None
         if self.overloaded and self._rng.random() < self.alpha:
             return DropReason.ADMISSION_CONTROL

@@ -16,6 +16,14 @@ from .routing import (
 )
 from .scaling import ReactiveScaler, ScalingEvent
 from .stats import ModuleStats, RateMeter, WindowedSamples
+from .tenancy import (
+    PoolSpec,
+    SharedCluster,
+    SharedPolicy,
+    Tenant,
+    TenantView,
+    assign_pools,
+)
 from .worker import Batch, Worker
 
 __all__ = [
@@ -28,9 +36,14 @@ __all__ = [
     "LeastLoadedDispatcher",
     "Module",
     "PathRouter",
+    "PoolSpec",
     "ProbabilisticRouter",
     "ResultDependentRouter",
+    "SharedCluster",
+    "SharedPolicy",
     "StaticRouter",
+    "Tenant",
+    "TenantView",
     "ModuleStats",
     "ModuleVisit",
     "RateMeter",
@@ -43,6 +56,7 @@ __all__ = [
     "Simulator",
     "WindowedSamples",
     "Worker",
+    "assign_pools",
     "plan_batch_sizes",
     "provision_workers",
     "slo_split",

@@ -4,6 +4,13 @@ Handles the full request lifecycle across the DAG: entry dispatch, hop-by-hop
 forwarding, fork (a module with several successors sends the request to all
 of them), join (a module with several predecessors waits for every branch),
 drops (including DAG sibling invalidation) and completion.
+
+The lifecycle itself lives in :class:`RequestFlow` so the single-application
+:class:`Cluster` and the multi-tenant views in
+:mod:`repro.simulation.tenancy` share one implementation of fork/join
+accounting — per-tenant routing over shared worker pools only overrides how
+a data-plane module maps back to a position in the pipeline DAG
+(:meth:`RequestFlow.hop_id`).
 """
 
 from __future__ import annotations
@@ -22,7 +29,164 @@ from .rng import RngStreams
 from .routing import PathRouter, StaticRouter
 
 
-class Cluster:
+class RequestFlow:
+    """Request lifecycle over one pipeline DAG.
+
+    Mixin consumed by :class:`Cluster` (modules are exclusively its own)
+    and :class:`repro.simulation.tenancy.TenantView` (modules are shared
+    pools).  Expects the host to provide ``sim``, ``spec``, ``slo``,
+    ``metrics``, ``router``, ``hop_delay``, ``modules`` (DAG module id ->
+    data-plane :class:`Module`) and ``entry_id``, and to call
+    :meth:`_init_flow_state` before the first request.
+    """
+
+    def _init_flow_state(self) -> None:
+        # Join bookkeeping for DAG pipelines: request id -> module id ->
+        # count of branch deliveries received so far.  ``_join_needed``
+        # overrides the default in-degree requirement for requests routed
+        # down a subset of branches (dynamic paths).
+        self._join_counts: dict[int, dict[str, int]] = defaultdict(dict)
+        self._join_needed: dict[int, dict[str, int]] = defaultdict(dict)
+        # Observed branch choices at forks: (module, successor) -> count.
+        # Feeds the request-path prediction extension (§5.2 future work).
+        self.branch_counts: dict[tuple[str, str], int] = defaultdict(int)
+
+    # -- hop translation ---------------------------------------------------
+
+    def hop_id(self, module: Module) -> str:
+        """The DAG position a data-plane module represents for this flow.
+
+        For a dedicated cluster the module *is* the DAG node.  Tenant views
+        over shared pools override this to translate a pool back to the
+        tenant's own module id; policies must use it (rather than
+        ``module.spec.id``) whenever they key spec-derived structures by
+        the module a request is at.
+        """
+        return module.spec.id
+
+    def is_entry_module(self, module: Module) -> bool:
+        """True when ``module`` serves this flow's pipeline entry."""
+        return self.hop_id(module) == self.entry_id
+
+    # -- request lifecycle -------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Inject a client request at the pipeline entry."""
+        self.metrics.record_submitted()
+        self.modules[self.entry_id].receive(request)
+
+    def submit_at(self, t: float, slo: float | None = None) -> Request:
+        """Schedule a request to be sent at simulation time ``t``."""
+        request = Request(sent_at=t, slo=self.slo if slo is None else slo)
+        self.sim.schedule(t, self.submit, request)
+        return request
+
+    def on_module_done(self, request: Request, module: Module) -> None:
+        """A worker finished executing ``request`` at ``module``."""
+        if request.status is RequestStatus.DROPPED:
+            # A sibling DAG branch dropped the request while this branch was
+            # executing; the GPU time is already attributed and will count
+            # as invalid.  Do not forward further.
+            return
+        subs = self.spec.successors(self.hop_id(module))
+        if not subs:
+            request.mark_completed(self.sim.now)
+            self._forget(request)
+            self.metrics.record_request(request)
+            return
+        chosen = subs
+        if len(subs) > 1:
+            chosen = tuple(self.router.select(request, module, subs))
+            for s in chosen:
+                self.branch_counts[(self.hop_id(module), s)] += 1
+            self._record_branch_choice(request, chosen)
+        for sub in chosen:
+            self._deliver(request, sub)
+
+    def _record_branch_choice(
+        self, request: Request, chosen: tuple[str, ...]
+    ) -> None:
+        """Adjust join requirements for a request passing a fork.
+
+        For every join module reachable from the chosen branches, the one
+        token that was flowing through this fork is replaced by one token
+        per chosen branch whose paths lead there.  Accumulating this way
+        (rather than overwriting) keeps nested forks correct: when two
+        sequential forks both feed the same join, each fork substitutes
+        only its own token's contribution, so the final requirement is the
+        total number of branch deliveries actually en route.  The static
+        router reproduces the default in-degree requirement.
+        """
+        spec = self.spec
+        needed = self._join_needed[request.rid]
+        for mid in spec.module_ids:
+            if len(spec.predecessors(mid)) <= 1:
+                continue
+            cnt = sum(
+                1
+                for s in chosen
+                if s == mid or mid in spec.downstream(s)
+            )
+            if cnt > 0:
+                # The token passing this fork counted as one pending
+                # delivery toward ``mid``; it now fans out into ``cnt``.
+                needed[mid] = needed.get(mid, 1) - 1 + cnt
+
+    def _deliver(self, request: Request, module_id: str) -> None:
+        """Deliver to a successor, honouring join semantics at merges."""
+        preds = self.spec.predecessors(module_id)
+        if len(preds) > 1:
+            counts = self._join_counts[request.rid]
+            counts[module_id] = counts.get(module_id, 0) + 1
+            needed = self._join_needed.get(request.rid, {}).get(
+                module_id, len(preds)
+            )
+            if counts[module_id] < needed:
+                return  # wait for the remaining branches
+            del counts[module_id]
+        if self.hop_delay > 0:
+            self.sim.schedule_after(
+                self.hop_delay, self.modules[module_id].receive, request
+            )
+        else:
+            self.modules[module_id].receive(request)
+
+    def drop(self, request: Request, module_id: str, reason: DropReason) -> None:
+        """Drop a request at ``module_id`` (idempotent for DAG siblings)."""
+        if request.status is RequestStatus.DROPPED:
+            return
+        request.mark_dropped(module_id, reason, self.sim.now)
+        self._forget(request)
+        self.metrics.record_request(request)
+
+    def _forget(self, request: Request) -> None:
+        self._join_counts.pop(request.rid, None)
+        self._join_needed.pop(request.rid, None)
+
+    def branch_probability(self, module_id: str, successor: str) -> float:
+        """Observed probability that a request at a fork takes ``successor``.
+
+        Laplace-smoothed over the fork's successors; 1.0 for non-forks.
+        Used by the path-prediction extension of the State Planner.
+        """
+        subs = self.spec.successors(module_id)
+        if len(subs) <= 1:
+            return 1.0
+        counts = {s: self.branch_counts.get((module_id, s), 0) for s in subs}
+        total = sum(counts.values()) + len(subs)
+        return (counts.get(successor, 0) + 1) / total
+
+    # -- introspection -----------------------------------------------------
+
+    def module_list(self) -> list[Module]:
+        """Modules in declaration order (M1..MN for chains)."""
+        return [self.modules[mid] for mid in self.spec.module_ids]
+
+    def total_queue_length(self) -> int:
+        return sum(m.queue_length() for m in self.modules.values())
+
+
+class Cluster(RequestFlow):
     """A simulated serving cluster for one pipeline application."""
 
     def __init__(
@@ -77,15 +241,7 @@ class Cluster:
                 stats_window=stats_window,
             )
 
-        # Join bookkeeping for DAG pipelines: request id -> module id -> count
-        # of branch deliveries received so far.  ``_join_needed`` overrides
-        # the default in-degree requirement for requests routed down a
-        # subset of branches (dynamic paths).
-        self._join_counts: dict[int, dict[str, int]] = defaultdict(dict)
-        self._join_needed: dict[int, dict[str, int]] = defaultdict(dict)
-        # Observed branch choices at forks: (module, successor) -> count.
-        # Feeds the request-path prediction extension (§5.2 future work).
-        self.branch_counts: dict[tuple[str, str], int] = defaultdict(int)
+        self._init_flow_state()
         self._tick_started = False
         self._tick_handle = None
         self._periodics: list = []  # controllers with a stop() method
@@ -117,114 +273,3 @@ class Cluster:
         self._tick_started = False
         for controller in self._periodics:
             controller.stop()
-
-    # -- request lifecycle -----------------------------------------------------
-
-    def submit(self, request: Request) -> None:
-        """Inject a client request at the pipeline entry."""
-        self.metrics.record_submitted()
-        self.modules[self.entry_id].receive(request)
-
-    def submit_at(self, t: float, slo: float | None = None) -> Request:
-        """Schedule a request to be sent at simulation time ``t``."""
-        request = Request(sent_at=t, slo=self.slo if slo is None else slo)
-        self.sim.schedule(t, self.submit, request)
-        return request
-
-    def on_module_done(self, request: Request, module: Module) -> None:
-        """A worker finished executing ``request`` at ``module``."""
-        if request.status is RequestStatus.DROPPED:
-            # A sibling DAG branch dropped the request while this branch was
-            # executing; the GPU time is already attributed and will count
-            # as invalid.  Do not forward further.
-            return
-        subs = self.spec.successors(module.spec.id)
-        if not subs:
-            request.mark_completed(self.sim.now)
-            self._forget(request)
-            self.metrics.record_request(request)
-            return
-        chosen = subs
-        if len(subs) > 1:
-            chosen = tuple(self.router.select(request, module, subs))
-            for s in chosen:
-                self.branch_counts[(module.spec.id, s)] += 1
-            self._record_branch_choice(request, chosen)
-        for sub in chosen:
-            self._deliver(request, sub)
-
-    def _record_branch_choice(
-        self, request: Request, chosen: tuple[str, ...]
-    ) -> None:
-        """Adjust join requirements for a request routed down a subset.
-
-        For every join module reachable from the chosen branches, the
-        number of arrivals to wait for equals the number of chosen branches
-        whose paths lead there (the static router reproduces the default
-        in-degree requirement).
-        """
-        spec = self.spec
-        needed = self._join_needed[request.rid]
-        for mid in spec.module_ids:
-            if len(spec.predecessors(mid)) <= 1:
-                continue
-            cnt = sum(
-                1
-                for s in chosen
-                if s == mid or mid in spec.downstream(s)
-            )
-            if cnt > 0:
-                needed[mid] = cnt
-
-    def _deliver(self, request: Request, module_id: str) -> None:
-        """Deliver to a successor, honouring join semantics at merges."""
-        preds = self.spec.predecessors(module_id)
-        if len(preds) > 1:
-            counts = self._join_counts[request.rid]
-            counts[module_id] = counts.get(module_id, 0) + 1
-            needed = self._join_needed.get(request.rid, {}).get(
-                module_id, len(preds)
-            )
-            if counts[module_id] < needed:
-                return  # wait for the remaining branches
-            del counts[module_id]
-        if self.hop_delay > 0:
-            self.sim.schedule_after(
-                self.hop_delay, self.modules[module_id].receive, request
-            )
-        else:
-            self.modules[module_id].receive(request)
-
-    def drop(self, request: Request, module_id: str, reason: DropReason) -> None:
-        """Drop a request at ``module_id`` (idempotent for DAG siblings)."""
-        if request.status is RequestStatus.DROPPED:
-            return
-        request.mark_dropped(module_id, reason, self.sim.now)
-        self._forget(request)
-        self.metrics.record_request(request)
-
-    def _forget(self, request: Request) -> None:
-        self._join_counts.pop(request.rid, None)
-        self._join_needed.pop(request.rid, None)
-
-    def branch_probability(self, module_id: str, successor: str) -> float:
-        """Observed probability that a request at a fork takes ``successor``.
-
-        Laplace-smoothed over the fork's successors; 1.0 for non-forks.
-        Used by the path-prediction extension of the State Planner.
-        """
-        subs = self.spec.successors(module_id)
-        if len(subs) <= 1:
-            return 1.0
-        counts = {s: self.branch_counts.get((module_id, s), 0) for s in subs}
-        total = sum(counts.values()) + len(subs)
-        return (counts.get(successor, 0) + 1) / total
-
-    # -- introspection -----------------------------------------------------
-
-    def module_list(self) -> list[Module]:
-        """Modules in declaration order (M1..MN for chains)."""
-        return [self.modules[mid] for mid in self.spec.module_ids]
-
-    def total_queue_length(self) -> int:
-        return sum(m.queue_length() for m in self.modules.values())

@@ -83,6 +83,7 @@ class Request:
     sent_at: float
     slo: float
     rid: int = field(default_factory=lambda: next(_rid_counter))
+    app: str = ""  # owning application (set by multi-tenant clusters)
     status: RequestStatus = RequestStatus.IN_FLIGHT
     finished_at: float | None = None
     visits: dict[str, ModuleVisit] = field(default_factory=dict)

@@ -77,10 +77,15 @@ class ReactiveScaler:
             have = module.n_workers + pending
             if desired > have:
                 self._low_ticks[module_id] = 0
-                for _ in range(desired - have):
+                for i in range(desired - have):
                     self._pending[module_id] = self._pending.get(module_id, 0) + 1
+                    # workers_after counts live + pending workers once this
+                    # request lands: have+1, have+2, ... — not the stale
+                    # pre-loop count repeated.
                     self.events.append(
-                        ScalingEvent(now, module_id, "scale_out_requested", have)
+                        ScalingEvent(
+                            now, module_id, "scale_out_requested", have + i + 1
+                        )
                     )
                     self.cluster.sim.schedule_after(
                         self.cold_start, self._finish_scale_out, module_id
@@ -106,6 +111,11 @@ class ReactiveScaler:
         self.cluster.sim.schedule_after(self.interval, self._tick)
 
     def _finish_scale_out(self, module_id: str) -> None:
+        if self._stopped:
+            # stop_ticks() ran while this cold start was pending: the run
+            # is draining and a worker materialising now would serve
+            # requests the metrics have already closed the books on.
+            return
         module = self.cluster.modules[module_id]
         self._pending[module_id] = max(0, self._pending.get(module_id, 0) - 1)
         if module.n_workers < self.max_workers:

@@ -115,7 +115,10 @@ class Worker:
                 now=now,
                 expected_start=t_e,
                 batch_duration=module.effective_duration(now),
-                slo=module.cluster.slo,
+                # The request's own objective, not the cluster's: in a
+                # shared (multi-tenant) cluster requests from different
+                # apps carry different SLOs through the same pool.
+                slo=request.slo,
             )
             reason = module.policy.should_drop(ctx)
             visit = request.visit(module.spec.id)

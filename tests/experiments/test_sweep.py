@@ -125,16 +125,38 @@ class TestCache:
         again = run_sweep(cells, workers=1, cache_dir=tmp_path)
         assert again[0].ok and not again[0].cached
 
-    def test_stale_source_buckets_pruned(self, tmp_path):
+    def test_stale_source_buckets_survive_until_size_budget(self, tmp_path):
+        """Other source-digest buckets are another checkout's live cache:
+        running a sweep must not evict them (two checkouts sharing a cache
+        dir would thrash on every branch switch).  Reclamation is deferred
+        to prune_cache's size budget."""
+        import os
+        import time
+
         stale = tmp_path / ("0" * 16)
         stale.mkdir()
         (stale / "dead.pkl").write_bytes(b"old")
+        old = time.time() - 3600
+        os.utime(stale / "dead.pkl", (old, old))
         unrelated = tmp_path / "keep.txt"
         unrelated.write_text("mine")
         run_sweep(tiny_cells(policies=("Naive",)), workers=1,
                   cache_dir=tmp_path)
-        assert not stale.exists()
+        assert (stale / "dead.pkl").exists()  # cross-branch entries kept
         assert unrelated.exists()
+        # The size budget is where old buckets go: the other checkout's
+        # entry is the oldest, so it is evicted first.
+        prune_cache(tmp_path, max_bytes=0)
+        assert not stale.exists()
+
+    def test_explicit_prune_stale_still_works(self, tmp_path):
+        from repro.experiments.sweep import SweepCache
+
+        stale = tmp_path / ("0" * 16)
+        stale.mkdir()
+        (stale / "dead.pkl").write_bytes(b"old")
+        SweepCache(tmp_path).prune_stale()
+        assert not stale.exists()
 
     def test_events_report_cache_hits(self, tmp_path):
         cells = tiny_cells(policies=("Naive",))

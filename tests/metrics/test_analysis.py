@@ -13,8 +13,10 @@ from repro.metrics.analysis import (
     goodput_series,
     latency_component_cdf,
     max_drop_rate,
+    merge_collectors,
     min_normalized_goodput,
     normalized_goodput_series,
+    per_app_summaries,
     summarize,
 )
 from repro.metrics.collector import MetricsCollector
@@ -91,6 +93,33 @@ class TestSummarize:
         c = MetricsCollector()
         with pytest.raises(ValueError):
             c.record_request(Request(sent_at=0.0, slo=1.0))
+
+
+class TestPerApp:
+    def test_merge_collectors_concatenates_books(self):
+        a = collect(completed(0.0, 0.1), dropped(0.5, 0.6))
+        b = collect(completed(1.0, 0.2))
+        merged = merge_collectors({"a": a, "b": b})
+        assert len(merged) == 3
+        assert merged.submitted == 3
+        # Originals untouched.
+        assert len(a) == 2 and len(b) == 1
+        # Sequence form works too.
+        assert len(merge_collectors([a, b])) == 3
+
+    def test_per_app_summaries_with_per_app_durations(self):
+        a = collect(completed(0.0, 0.1), completed(1.0, 0.1))
+        b = collect(completed(0.0, 0.1))
+        out = per_app_summaries({"a": a, "b": b},
+                                durations={"a": 2.0, "b": 1.0})
+        assert out["a"].goodput == pytest.approx(1.0)
+        assert out["b"].goodput == pytest.approx(1.0)
+        assert out["a"].total == 2
+
+    def test_per_app_summaries_scalar_duration(self):
+        a = collect(completed(0.0, 0.1))
+        out = per_app_summaries({"a": a}, durations=4.0)
+        assert out["a"].goodput == pytest.approx(0.25)
 
 
 class TestWindowedSeries:

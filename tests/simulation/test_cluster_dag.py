@@ -101,6 +101,72 @@ class TestDagRouting:
         cluster.sim.run()
         assert len(cluster.metrics.records) == 20
 
+    def test_nested_forks_join_waits_for_every_branch(self):
+        """Two sequential forks feeding one join: m1 -> {m2, m3}, then
+        m2 -> {m4, m5}, with m4, m5 and m3 all merging at m6.  The join
+        requirement must accumulate across the forks (3 deliveries), not
+        be overwritten by the second fork's count (regression test: the
+        join fired after 2 arrivals, before the slowest branch)."""
+        from repro.pipeline.applications import Application
+        from repro.pipeline.spec import ModuleSpec, PipelineSpec
+
+        spec = PipelineSpec(
+            name="nested-forks",
+            modules=[
+                ModuleSpec("m1", "alpha", subs=("m2", "m3")),
+                ModuleSpec("m2", "beta", pres=("m1",), subs=("m4", "m5")),
+                ModuleSpec("m3", "gamma", pres=("m1",), subs=("m6",)),
+                ModuleSpec("m4", "alpha", pres=("m2",), subs=("m6",)),
+                ModuleSpec("m5", "gamma", pres=("m2",), subs=("m6",)),
+                ModuleSpec("m6", "beta", pres=("m3", "m4", "m5")),
+            ],
+        )
+        cluster = make_cluster(
+            NaivePolicy(), app=Application(spec=spec, slo=5.0)
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        branch_ends = [
+            request.visit(mid).t_exec_end for mid in ("m3", "m4", "m5")
+        ]
+        # The join must not have started before the slowest branch arrived.
+        assert request.visit("m6").t_received == pytest.approx(
+            max(branch_ends)
+        )
+        # Exactly one record, and no stray join state left behind.
+        assert len(cluster.metrics.records) == 1
+        assert not cluster._join_counts
+        assert not cluster._join_needed
+
+    def test_nested_forks_many_requests_all_accounted(self):
+        from repro.pipeline.applications import Application
+        from repro.pipeline.spec import ModuleSpec, PipelineSpec
+
+        spec = PipelineSpec(
+            name="nested-forks",
+            modules=[
+                ModuleSpec("m1", "alpha", subs=("m2", "m3")),
+                ModuleSpec("m2", "beta", pres=("m1",), subs=("m4", "m5")),
+                ModuleSpec("m3", "gamma", pres=("m1",), subs=("m6",)),
+                ModuleSpec("m4", "alpha", pres=("m2",), subs=("m6",)),
+                ModuleSpec("m5", "gamma", pres=("m2",), subs=("m6",)),
+                ModuleSpec("m6", "beta", pres=("m3", "m4", "m5")),
+            ],
+        )
+        cluster = make_cluster(
+            DropAtModule("m4"), app=Application(spec=spec, slo=5.0)
+        )
+        for i in range(15):
+            cluster.submit_at(0.002 * i)
+        cluster.sim.run()
+        # Dropping one branch still yields exactly one terminal record per
+        # request, and the join never fires early on a partial set.
+        assert len(cluster.metrics.records) == 15
+        assert all(
+            r.status is RequestStatus.DROPPED for r in cluster.metrics.records
+        )
+
     def test_multi_entry_pipeline_rejected(self):
         import pytest as _pytest
 

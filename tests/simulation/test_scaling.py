@@ -34,6 +34,25 @@ class TestScaleOut:
         assert outs[0].time >= first_request + 3.0  # cold start respected
         assert cluster.modules["m1"].n_workers > 1
 
+    def test_scale_out_requested_events_increment_workers_after(self):
+        """A 3-worker scale-out must log an incrementing live+pending count
+        per request, not the same stale pre-loop count three times
+        (regression test)."""
+        trace = step_trace([(0.0, 1000.0)], duration=8.0, seed=7)
+        _, scaler = scaled_cluster(
+            trace, interval=1.0, cold_start=2.0, max_workers=16
+        )
+        by_tick: dict[tuple[float, str], list[int]] = {}
+        for e in scaler.events:
+            if e.kind == "scale_out_requested":
+                by_tick.setdefault((e.time, e.module_id), []).append(
+                    e.workers_after
+                )
+        multi = [counts for counts in by_tick.values() if len(counts) > 1]
+        assert multi, "load never triggered a multi-worker scale-out"
+        for counts in multi:
+            assert counts == list(range(counts[0], counts[0] + len(counts)))
+
     def test_max_workers_cap(self):
         trace = step_trace([(0.0, 1000.0)], duration=10.0, seed=2)
         cluster, _ = scaled_cluster(
@@ -72,3 +91,16 @@ class TestDrainInteraction:
         # stopped and all requests accounted.
         assert scaler._stopped
         assert len(cluster.metrics.records) == len(trace)
+
+    def test_pending_cold_starts_do_not_land_after_stop(self):
+        """A cold start still pending when the scaler is stopped must not
+        materialise a worker during drain (regression test)."""
+        trace = step_trace([(0.0, 1000.0)], duration=3.0, seed=6)
+        # cold_start far exceeds duration + drain: every requested worker
+        # is still pending when stop_ticks() cancels the control plane.
+        cluster, scaler = scaled_cluster(
+            trace, interval=1.0, cold_start=60.0, max_workers=8
+        )
+        assert any(e.kind == "scale_out_requested" for e in scaler.events)
+        assert not any(e.kind == "scale_out_done" for e in scaler.events)
+        assert all(m.n_workers == 1 for m in cluster.modules.values())

@@ -209,3 +209,79 @@ class TestScenarioCommands:
         rc = main(["scenario", "run", "--file", str(example)])
         assert rc == 0
         assert "burst-failure" in capsys.readouterr().out
+
+
+MULTI_SCENARIO = {
+    "name": "cli-shared",
+    "tenants": [
+        {
+            "scenario": {
+                "name": "front",
+                "app": {"name": "tm"},
+                "policy": "Naive",
+                "trace": {"name": "poisson", "base_rate": 25, "duration": 5},
+            }
+        },
+        {
+            "weight": 2.0,
+            "scenario": {
+                "name": "batchy",
+                "app": {"name": "lv"},
+                "policy": "Naive",
+                "trace": {"name": "poisson", "base_rate": 10, "duration": 5},
+            },
+        },
+    ],
+    "workers": 2,
+    "failures": [
+        {"time": 2.0, "module_id": "face_recognition", "workers": 1,
+         "downtime": 1.0}
+    ],
+}
+
+
+class TestMultiScenarioCommands:
+    def scenario_file(self, tmp_path, spec=None):
+        path = tmp_path / "multi.json"
+        path.write_text(json.dumps(spec or MULTI_SCENARIO))
+        return str(path)
+
+    def test_scenario_run_auto_detects_multi(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--file", self.scenario_file(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shared cluster cli-shared-s0" in out
+        assert "front" in out and "batchy" in out  # per-app breakdown
+        assert "aggregate" in out
+        assert "fail face_recognition" in out
+
+    def test_scenario_sweep_multi_with_cache(self, capsys, tmp_path):
+        args = [
+            "scenario", "sweep", "--file", self.scenario_file(tmp_path),
+            "--policies", "Naive,Nexus", "--seeds", "0,1", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cli-shared-s0" in out and "cli-shared-s1" in out
+        assert "- front" in out and "- batchy" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") == 4
+
+    def test_invalid_multi_rejected_cleanly(self, tmp_path):
+        bad = dict(MULTI_SCENARIO, workers={"nosuch": 2})
+        with pytest.raises(SystemExit, match="invalid scenario"):
+            main(["scenario", "run", "--file",
+                  self.scenario_file(tmp_path, bad)])
+
+    def test_example_shared_cluster_file_runs(self, capsys):
+        from pathlib import Path
+
+        example = (Path(__file__).resolve().parent.parent
+                   / "examples" / "scenarios" / "shared_cluster.json")
+        rc = main(["scenario", "run", "--file", str(example)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shared-tm-lv" in out
+        assert "monitor" in out and "live" in out
