@@ -46,7 +46,10 @@ from .policies import (
     NaivePolicy,
     NexusPolicy,
     OverloadControlPolicy,
+    ParamSpec,
+    PolicySpec,
     make_ablation,
+    make_policy,
 )
 from .simulation import Cluster, Request, Simulator
 from .workload import Trace, get_trace
@@ -69,7 +72,9 @@ __all__ = [
     "NaivePolicy",
     "NexusPolicy",
     "OverloadControlPolicy",
+    "ParamSpec",
     "PardPolicy",
+    "PolicySpec",
     "PipelineSpec",
     "PriorityMode",
     "Request",
@@ -86,6 +91,7 @@ __all__ = [
     "get_application",
     "get_trace",
     "make_ablation",
+    "make_policy",
     "run_experiment",
     "run_scenario",
     "standard_config",

@@ -26,6 +26,7 @@ from .experiments.runner import run_experiment, run_multi_scenario, run_scenario
 from .experiments.scenario import (
     MultiScenario,
     Scenario,
+    SweepSpec,
     load_scenario_file,
     multi_scenario_grid,
     scenario_grid,
@@ -35,6 +36,7 @@ from .experiments.sweep import (
     prune_cache,
     run_sweep,
     scenario_cells,
+    summaries_payload,
     summary_table,
     sweep_grid,
 )
@@ -43,10 +45,12 @@ from .metrics.report import (
     per_app_drop_table,
     per_app_table,
     per_module_drop_table,
+    policy_descriptions,
 )
 from .pipeline.applications import known_applications
 from .policies.ablations import ABLATIONS
 from .policies.base import DropPolicy
+from .policies.registry import ADMISSIONS, POLICIES, known_admissions
 from .workload.generators import known_traces
 
 
@@ -96,6 +100,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print()
     print(per_module_drop_table({result.policy_name: result},
                                 markdown=args.markdown))
+    print()
+    print(policy_descriptions({result.policy_name: result}))
     return 0
 
 
@@ -110,6 +116,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(comparison_table(results, markdown=args.markdown))
     print()
     print(per_module_drop_table(results, markdown=args.markdown))
+    print()
+    print(policy_descriptions(results))
     return 0
 
 
@@ -170,6 +178,14 @@ def _run_cells(cells, args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         on_event=progress,
     )
+    if args.save_summaries:
+        import json
+        from pathlib import Path
+
+        payload = summaries_payload(results)
+        Path(args.save_summaries).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     if args.max_cache_mb is not None:
         # Prune against the configured directory even under --no-cache:
         # the budget bounds what is on disk, not what this run wrote.
@@ -188,18 +204,32 @@ def _run_cells(cells, args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _load_scenario(path: str) -> Scenario | MultiScenario:
-    """Load and validate either scenario schema (auto-detected)."""
+def _load_scenario_raw(path: str) -> Scenario | MultiScenario | SweepSpec:
+    """Parse any scenario-file schema (auto-detected), not yet validated."""
     try:
-        return load_scenario_file(path).validate()
+        return load_scenario_file(path)
     except FileNotFoundError:
         raise SystemExit(f"scenario file not found: {path}") from None
     except (ValueError, KeyError, TypeError, OSError) as exc:
         raise SystemExit(f"invalid scenario file {path}: {exc}") from None
 
 
+def _load_scenario(path: str) -> Scenario | MultiScenario | SweepSpec:
+    """Load and validate any scenario-file schema (auto-detected)."""
+    scenario = _load_scenario_raw(path)
+    try:
+        return scenario.validate()
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"invalid scenario file {path}: {exc}") from None
+
+
 def cmd_scenario_run(args: argparse.Namespace) -> int:
     scenario = _load_scenario(args.file)
+    if isinstance(scenario, SweepSpec):
+        raise SystemExit(
+            f"{args.file} declares sweep axes; run it with "
+            "`repro scenario sweep --file ...`"
+        )
     if isinstance(scenario, MultiScenario):
         result = run_multi_scenario(scenario)
         pools = ", ".join(result.pool_ids)
@@ -223,20 +253,53 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     print()
     print(per_module_drop_table({result.policy_name: result},
                                 markdown=args.markdown))
+    print()
+    print(policy_descriptions({result.policy_name: result}))
     for line in result.failure_log:
         print(f"  {line}")
     return 0
 
 
 def cmd_scenario_sweep(args: argparse.Namespace) -> int:
-    scenario = _load_scenario(args.file)
+    scenario = _load_scenario_raw(args.file)
     policies = _csv(args.policies)
     _check_policies(policies)
     seeds = _parse_seeds(args.seeds)
-    if isinstance(scenario, MultiScenario):
-        grid = multi_scenario_grid(scenario, policies=policies, seeds=seeds)
-    else:
-        grid = scenario_grid(scenario, policies=policies, seeds=seeds)
+    # A SweepSpec expands its own declared axes first; --policies/--seeds
+    # then multiply every grid member.  Overlapping axes are rejected:
+    # scenario_grid replaces the policy/seed wholesale, which would
+    # silently collapse the file's declared variants into duplicates.
+    # Expansion and validation happen exactly once, here (SweepSpec.
+    # validate() would expand the grid a second time).
+    try:
+        if isinstance(scenario, SweepSpec):
+            declared = [axis for axis, _ in scenario.axes]
+            if policies and any(a == "policy" or a.startswith("policy.")
+                                for a in declared):
+                raise SystemExit(
+                    f"{args.file} already sweeps a policy axis; drop "
+                    "--policies or move the policy grid into the file's axes"
+                )
+            if seeds and "seed" in declared:
+                raise SystemExit(
+                    f"{args.file} already sweeps 'seed'; drop --seeds or "
+                    "move the seed grid into the file's axes"
+                )
+            bases = scenario.expand()
+        else:
+            bases = [scenario]
+        for base in bases:
+            base.validate()
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"invalid scenario file {args.file}: {exc}") from None
+    grid = []
+    for base in bases:
+        if isinstance(base, MultiScenario):
+            grid.extend(
+                multi_scenario_grid(base, policies=policies, seeds=seeds)
+            )
+        else:
+            grid.extend(scenario_grid(base, policies=policies, seeds=seeds))
     return _run_cells(scenario_cells(grid), args)
 
 
@@ -245,6 +308,18 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("traces:      ", ", ".join(known_traces()))
     print("systems:     ", ", ".join(SYSTEM_FACTORIES))
     print("ablations:   ", ", ".join(sorted(ABLATIONS)))
+    print("admission:   ", ", ".join(known_admissions()))
+    if args.params:
+        print("\npolicy parameters:")
+        for name in sorted(POLICIES):
+            info = POLICIES[name]
+            decl = ", ".join(p.describe() for p in info.params) or "(none)"
+            print(f"  {name}: {decl}")
+        print("\nadmission parameters:")
+        for name in sorted(ADMISSIONS):
+            info = ADMISSIONS[name]
+            decl = ", ".join(p.describe() for p in info.params) or "(none)"
+            print(f"  {name}: {decl}")
     return 0
 
 
@@ -320,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser(
         "list", help="list registered applications, traces and policies"
     )
+    p_list.add_argument(
+        "--params", action="store_true",
+        help="also print each policy's declared parameter schema",
+    )
     p_list.set_defaults(fn=cmd_list)
     return parser
 
@@ -345,6 +424,9 @@ def _add_sweep_exec_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress on stderr")
     p.add_argument("--markdown", action="store_true")
+    p.add_argument("--save-summaries", default=None, metavar="PATH",
+                   help="write deterministic per-cell summaries as JSON "
+                        "(byte-identical across worker counts)")
 
 
 def main(argv: list[str] | None = None) -> int:

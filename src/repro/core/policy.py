@@ -65,6 +65,7 @@ class PardPolicy(DropPolicy):
         self.priority = AdaptivePriorityController(mode=priority_mode)
         self.budget_mode = budget_mode
         self._budget_shares: dict[str, float] = {}
+        self._upstream_memo: dict[str, float] = {}
         if name is not None:
             self.name = name
 
@@ -121,6 +122,7 @@ class PardPolicy(DropPolicy):
         }
         total = sum(d1.values())
         self._budget_shares = {mid: d / total for mid, d in d1.items()}
+        self._upstream_memo.clear()
 
     def _recompute_wcl_budgets(self, now: float) -> None:
         """PARD-WCL: shares proportional to runtime worst-case latency.
@@ -142,6 +144,7 @@ class PardPolicy(DropPolicy):
         total = sum(wcl.values())
         if total > 0:
             self._budget_shares = {mid: v / total for mid, v in wcl.items()}
+            self._upstream_memo.clear()
 
     def _cumulative_budget(self, module_id: str, slo: float) -> float:
         """SLO share allocated to modules from the entry through ``module_id``.
@@ -161,17 +164,27 @@ class PardPolicy(DropPolicy):
         return slo * best
 
     def _best_upstream_share(self, module_id: str) -> float:
+        # Memoized per budget refresh: the naive recursion re-expands every
+        # upstream path, which is exponential on dense DAGs (a k-wide
+        # all-to-all layering has k^depth entry paths).  The memo makes it
+        # one visit per node, invalidated whenever the shares change.
+        cached = self._upstream_memo.get(module_id)
+        if cached is not None:
+            return cached
         assert self.cluster is not None
         spec = self.cluster.spec
         share = self._budget_shares[module_id]
         preds = spec.predecessors(module_id)
-        if not preds:
-            return share
-        return share + max(self._best_upstream_share(p) for p in preds)
+        if preds:
+            share += max(self._best_upstream_share(p) for p in preds)
+        self._upstream_memo[module_id] = share
+        return share
 
     def describe(self) -> str:
+        # Bracketed so a param-bearing display name ("PARD(lam=0.3)") does
+        # not read as nested calls.
         return (
-            f"{self.name}(lam={self.planner.lam}, sub={self.broker.sub_mode}, "
+            f"{self.name} [lam={self.planner.lam}, sub={self.broker.sub_mode}, "
             f"wait={self.planner.wait_mode}, prio={self.priority.mode}, "
-            f"budget={self.budget_mode})"
+            f"budget={self.budget_mode}]"
         )

@@ -18,7 +18,8 @@ from ..metrics.collector import MetricsCollector
 from ..pipeline.applications import Application, get_application
 from ..pipeline.profiles import DEFAULT_PROFILES, ProfileRegistry
 from ..policies.base import DropPolicy
-from ..policies.registry import make_policy
+from ..policies.registry import make_admission, make_policy
+from ..policies.spec import PolicySpec
 from ..simulation.batching import plan_batch_sizes, provision_workers
 from ..simulation.cluster import Cluster
 from ..simulation.engine import Simulator
@@ -244,21 +245,22 @@ def build_cluster(
 
 def run_experiment(
     config: ExperimentConfig,
-    policy: DropPolicy | str,
+    policy: DropPolicy | str | PolicySpec,
     failures: Sequence[FailureEvent] = (),
     scaling: ScalingSpec | None = None,
     trace: Trace | None = None,
 ) -> ExperimentResult:
     """Replay the configured trace through a freshly provisioned cluster.
 
-    ``policy`` may be a constructed :class:`DropPolicy` or a registered
-    policy name, in which case it is built seeded from ``config.seed`` —
-    the form sweep workers use, since names pickle and closures do not.
-    ``failures`` are armed before replay; ``scaling`` overrides the bare
-    ``config.scaling`` bool with a full :class:`ScalingSpec`; ``trace``
-    substitutes a pre-built trace (the scenario path's composed workload).
+    ``policy`` may be a constructed :class:`DropPolicy`, a registered
+    policy name or a :class:`~repro.policies.spec.PolicySpec`; the latter
+    two are built seeded from ``config.seed`` — the forms sweep workers
+    use, since plain data pickles and closures do not.  ``failures`` are
+    armed before replay; ``scaling`` overrides the bare ``config.scaling``
+    bool with a full :class:`ScalingSpec`; ``trace`` substitutes a
+    pre-built trace (the scenario path's composed workload).
     """
-    if isinstance(policy, str):
+    if isinstance(policy, (str, PolicySpec)):
         policy = make_policy(policy, config.seed)
     if trace is None:
         trace = config.resolve_trace()
@@ -459,6 +461,16 @@ def run_multi_scenario(multi: MultiScenario) -> MultiResult:
         workers: int | dict[str, int] = multi.workers
     else:
         workers = _provision_pools(multi, registry, tenants, base_rates)
+    admission = None
+    if multi.admission is not None:
+        # The fairness seam: constructed from plain data with the declared
+        # tenant weights as its fair-share vector, bound to the cluster by
+        # SharedCluster.__init__.
+        admission = make_admission(
+            multi.admission,
+            {t.label(): t.weight for t in multi.tenants},
+            seed=multi.seed,
+        )
     sim = Simulator()
     cluster = SharedCluster(
         sim=sim,
@@ -468,6 +480,7 @@ def run_multi_scenario(multi: MultiScenario) -> MultiResult:
         rng=RngStreams(seed=multi.seed),
         sync_interval=multi.sync_interval,
         stats_window=multi.stats_window,
+        admission=admission,
     )
     if multi.scaling.enabled:
         knobs = {f.name: getattr(multi.scaling, f.name)
@@ -503,14 +516,19 @@ def run_multi_scenario(multi: MultiScenario) -> MultiResult:
 
 
 def compare_policies(
-    config: ExperimentConfig, policies: dict[str, PolicyFactory | str]
+    config: ExperimentConfig,
+    policies: dict[str, PolicyFactory | str | PolicySpec],
 ) -> dict[str, ExperimentResult]:
     """Run the same workload under several policies (fresh cluster each).
 
-    Values may be seed-taking factories or registered policy names.
+    Values may be seed-taking factories, registered policy names or
+    :class:`~repro.policies.spec.PolicySpec` configurations.
     """
     results: dict[str, ExperimentResult] = {}
     for label, factory in policies.items():
-        policy = factory if isinstance(factory, str) else factory(config.seed)
+        policy = (
+            factory if isinstance(factory, (str, PolicySpec))
+            else factory(config.seed)
+        )
         results[label] = run_experiment(config, policy)
     return results

@@ -28,12 +28,12 @@ import inspect
 import json
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..pipeline.applications import APPLICATIONS, Application, get_application
 from ..pipeline.profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
 from ..pipeline.spec import ModuleSpec, PipelineSpec, chain
-from ..policies.registry import known_policies
+from ..policies.spec import PolicySpec
 from ..simulation.failures import FailureEvent
 from ..workload.generators import TRACES, get_trace
 from ..workload.trace import Trace
@@ -42,12 +42,15 @@ __all__ = [
     "AppSpec",
     "BurstSpec",
     "MultiScenario",
+    "PolicySpec",
     "Scenario",
     "ScalingSpec",
+    "SweepSpec",
     "TenantSpec",
     "TraceSpec",
     "load_scenario_file",
     "multi_scenario_grid",
+    "scenario_axes",
     "scenario_from_dict",
     "scenario_grid",
 ]
@@ -137,6 +140,44 @@ def _check_keys(data: dict, allowed: set[str], what: str) -> None:
     unknown = set(data) - allowed
     if unknown:
         raise ValueError(f"unknown {what} keys: {sorted(unknown)}")
+
+
+def _check_provision_targets(
+    workers: "int | dict[str, int] | None",
+    failures: "tuple[FailureEvent, ...]",
+    ids: set[str],
+    noun: str,
+    suffix: str = "",
+) -> None:
+    """Worker counts and failure events must reference real ``noun``s.
+
+    Shared by :class:`Scenario` (``noun="module"``) and
+    :class:`MultiScenario` (``noun="pool"``) at both construction (when
+    the ids resolve early) and ``validate()``.
+    """
+    if isinstance(workers, dict):
+        unknown = set(workers) - ids
+        if unknown:
+            raise ValueError(
+                f"workers reference unknown {noun}s: {sorted(unknown)}"
+                f"{suffix}"
+            )
+        missing = ids - set(workers)
+        if missing:
+            raise ValueError(
+                f"workers must cover every {noun}; missing: {sorted(missing)}"
+            )
+        bad = sorted(k for k, v in workers.items() if v < 1)
+        if bad:
+            raise ValueError(f"workers must be >= 1; got less for: {bad}")
+    elif workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    for event in failures:
+        if event.module_id not in ids:
+            raise ValueError(
+                f"failure event at t={event.time} references unknown "
+                f"{noun} {event.module_id!r}{suffix}"
+            )
 
 
 @dataclass(frozen=True)
@@ -512,7 +553,7 @@ class Scenario:
 
     app: AppSpec = field(default_factory=lambda: AppSpec(name="lv"))
     trace: TraceSpec = field(default_factory=TraceSpec)
-    policy: str = "PARD"
+    policy: PolicySpec = field(default_factory=PolicySpec)
     seed: int = 0
     workers: int | dict[str, int] | None = None
     utilization: float | None = None
@@ -533,6 +574,10 @@ class Scenario:
             object.__setattr__(self, "app", AppSpec.from_dict(self.app))
         if isinstance(self.trace, dict):
             object.__setattr__(self, "trace", TraceSpec.from_dict(self.trace))
+        if not isinstance(self.policy, PolicySpec):
+            # Bare names are the legacy spelling every pre-PolicySpec file
+            # (and test) uses; mappings are the parameterized form.
+            object.__setattr__(self, "policy", PolicySpec.coerce(self.policy))
         if isinstance(self.scaling, dict):
             object.__setattr__(
                 self, "scaling", ScalingSpec.from_dict(self.scaling)
@@ -576,11 +621,49 @@ class Scenario:
                 for e in self.failures
             ),
         )
+        # Fail fast on mistargeted failures/workers: a bad module id in a
+        # hand-authored spec should raise here, not as a KeyError minutes
+        # into a run.  Apps referencing a not-yet-registered name stay lazy
+        # (validate() is the authoritative pass), and the app is only
+        # resolved when there are targets to check — grid expansion builds
+        # thousands of these.
+        for event in self.failures:
+            if event.time >= self.trace.duration:
+                raise ValueError(
+                    f"failure event at t={event.time} falls outside the "
+                    f"trace duration {self.trace.duration}"
+                )
+        if self.failures or isinstance(self.workers, dict):
+            module_ids = self._known_module_ids()
+            if module_ids is not None:
+                self._check_targets(module_ids)
+        elif self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def _known_module_ids(self) -> set[str] | None:
+        """Module ids when resolvable without running (else ``None``).
+
+        Inline pipelines carry their modules; named apps resolve iff the
+        name is already registered.
+        """
+        if self.app.modules:
+            return {m.id for m in self.app.modules}
+        if self.app.name in APPLICATIONS:
+            try:
+                return set(self.app.build().spec.module_ids)
+            except (KeyError, ValueError):
+                return None
+        return None
+
+    def _check_targets(self, module_ids: set[str]) -> None:
+        _check_provision_targets(
+            self.workers, self.failures, module_ids, "module"
+        )
 
     def label(self) -> str:
         """Short identifier used by sweep progress and result tables."""
         base = self.name or f"{self.app.name or self.app.pipeline}-{self.trace.name}"
-        return f"{base}-{self.policy}-s{self.seed}"
+        return f"{base}-{self.policy.label()}-s{self.seed}"
 
     def validate(self) -> "Scenario":
         """Resolve every registry reference now instead of at run time.
@@ -591,11 +674,7 @@ class Scenario:
         user-authored files (the CLI) call this to surface a broken
         reference as one clean error up front.  Returns ``self``.
         """
-        if self.policy not in known_policies():
-            raise ValueError(
-                f"unknown policy {self.policy!r}; "
-                f"known: {', '.join(known_policies())}"
-            )
+        self.policy.validate()
         if self.utilization is not None and self.trace.base_rate is not None:
             raise ValueError(
                 "utilization and trace base_rate are mutually exclusive: "
@@ -627,37 +706,10 @@ class Scenario:
                 registry.get(module.model)
         except KeyError as exc:
             raise ValueError(str(exc).strip('"')) from None
-        module_ids = set(app.spec.module_ids)
-        if isinstance(self.workers, dict):
-            unknown = set(self.workers) - module_ids
-            if unknown:
-                raise ValueError(
-                    f"workers reference unknown modules: {sorted(unknown)}"
-                )
-            missing = module_ids - set(self.workers)
-            if missing:
-                raise ValueError(
-                    f"workers must cover every module; missing: "
-                    f"{sorted(missing)}"
-                )
-            bad = sorted(k for k, v in self.workers.items() if v < 1)
-            if bad:
-                raise ValueError(
-                    f"workers must be >= 1; got less for modules: {bad}"
-                )
-        elif self.workers is not None and self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
-        for event in self.failures:
-            if event.module_id not in module_ids:
-                raise ValueError(
-                    f"failure event at t={event.time} references unknown "
-                    f"module {event.module_id!r}"
-                )
-            if event.time >= self.trace.duration:
-                raise ValueError(
-                    f"failure event at t={event.time} falls outside the "
-                    f"trace duration {self.trace.duration}"
-                )
+        # Target checks may already have run at construction when the app
+        # was resolvable then; this pass is authoritative (the app resolved
+        # two lines up, so module ids are definitely known here).
+        self._check_targets(set(app.spec.module_ids))
         return self
 
     # -- resolution --------------------------------------------------------
@@ -677,7 +729,9 @@ class Scenario:
         return {
             "app": self.app.to_dict(),
             "trace": self.trace.to_dict(),
-            "policy": self.policy,
+            # Compact: a param-less policy stays the legacy bare string, so
+            # old files and old fingerprints survive the PolicySpec move.
+            "policy": self.policy.to_compact(),
             "seed": self.seed,
             "workers": (
                 dict(self.workers) if isinstance(self.workers, dict)
@@ -710,7 +764,9 @@ class Scenario:
         return cls(
             app=AppSpec.from_dict(data.get("app", {"name": "lv"})),
             trace=TraceSpec.from_dict(data.get("trace", {})),
-            policy=str(data.get("policy", "PARD")),
+            # A bare name (legacy) or a {"name", "params"} mapping; the
+            # constructor coerces either into a PolicySpec.
+            policy=PolicySpec.from_dict(data.get("policy", "PARD")),
             seed=int(data.get("seed", 0)),
             workers=workers,
             utilization=(
@@ -824,6 +880,10 @@ class MultiScenario:
     drain: float = 5.0
     seed: int = 0
     name: str = ""
+    #: Cross-app fairness policy on the admission seam (None = tenants'
+    #: own policies only); resolved via the admission registry
+    #: (:func:`repro.policies.registry.register_admission`).
+    admission: PolicySpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -873,6 +933,53 @@ class MultiScenario:
             raise ValueError("stats_window must be > 0")
         if self.drain < 0:
             raise ValueError("drain must be >= 0")
+        if self.admission is not None and not isinstance(
+            self.admission, PolicySpec
+        ):
+            object.__setattr__(
+                self, "admission", PolicySpec.coerce(self.admission)
+            )
+        # Fail fast on structural mistakes (same contract as Scenario):
+        # duplicate tenant labels, out-of-range failure times and —
+        # whenever every tenant app resolves now — mistargeted pool
+        # references.  Apps awaiting registration defer to validate().
+        self._check_labels()
+        duration = self.duration()
+        for event in self.failures:
+            if event.time >= duration:
+                raise ValueError(
+                    f"failure event at t={event.time} falls outside the "
+                    f"longest trace duration {duration}"
+                )
+        if self.failures or isinstance(self.workers, dict):
+            pools = self._known_pools()
+            if pools is not None:
+                self._check_pool_targets(pools)
+        elif self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def _check_labels(self) -> None:
+        labels = [t.label() for t in self.tenants]
+        dupes = sorted({x for x in labels if labels.count(x) > 1})
+        if dupes:
+            raise ValueError(
+                f"tenant labels must be unique, got duplicates: {dupes}; "
+                "give tenants distinct scenario names"
+            )
+
+    def _known_pools(self) -> "dict | None":
+        """The pool layout when every tenant app resolves now, else None."""
+        try:
+            pools, _ = self.pool_layout()
+        except (KeyError, ValueError):
+            return None
+        return pools
+
+    def _check_pool_targets(self, pools: dict) -> None:
+        _check_provision_targets(
+            self.workers, self.failures, set(pools), "pool",
+            suffix=f"; pools: {sorted(pools)}",
+        )
 
     def label(self) -> str:
         base = self.name or "+".join(t.label() for t in self.tenants)
@@ -919,13 +1026,7 @@ class MultiScenario:
 
     def validate(self) -> "MultiScenario":
         """Resolve every reference and cross-tenant constraint up front."""
-        labels = [t.label() for t in self.tenants]
-        dupes = sorted({x for x in labels if labels.count(x) > 1})
-        if dupes:
-            raise ValueError(
-                f"tenant labels must be unique, got duplicates: {dupes}; "
-                "give tenants distinct scenario names"
-            )
+        self._check_labels()
         for tenant in self.tenants:
             s = tenant.scenario
             where = f"tenant {tenant.label()!r}"
@@ -961,37 +1062,12 @@ class MultiScenario:
                         f"{profile.name!r} across tenants"
                     )
                 seen[profile.name] = profile
+        if self.admission is not None:
+            self.admission.validate(kind="admission")
+        # Authoritative pool-target pass (construction already checked when
+        # every app name was registered at that point).
         pools, _ = self.pool_layout()
-        if isinstance(self.workers, dict):
-            unknown = set(self.workers) - set(pools)
-            if unknown:
-                raise ValueError(
-                    f"workers reference unknown pools: {sorted(unknown)}; "
-                    f"pools: {sorted(pools)}"
-                )
-            missing = set(pools) - set(self.workers)
-            if missing:
-                raise ValueError(
-                    f"workers must cover every pool; missing: "
-                    f"{sorted(missing)}"
-                )
-            bad = sorted(k for k, v in self.workers.items() if v < 1)
-            if bad:
-                raise ValueError(f"workers must be >= 1; got less for: {bad}")
-        elif self.workers is not None and self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
-        duration = self.duration()
-        for event in self.failures:
-            if event.module_id not in pools:
-                raise ValueError(
-                    f"failure event at t={event.time} references unknown "
-                    f"pool {event.module_id!r}; pools: {sorted(pools)}"
-                )
-            if event.time >= duration:
-                raise ValueError(
-                    f"failure event at t={event.time} falls outside the "
-                    f"longest trace duration {duration}"
-                )
+        self._check_pool_targets(pools)
         return self
 
     # -- serialisation -----------------------------------------------------
@@ -1011,6 +1087,9 @@ class MultiScenario:
             "drain": self.drain,
             "seed": self.seed,
             "name": self.name,
+            "admission": (
+                None if self.admission is None else self.admission.to_compact()
+            ),
         }
 
     @classmethod
@@ -1020,7 +1099,7 @@ class MultiScenario:
             {
                 "tenants", "workers", "scaling", "failures",
                 "provision_headroom", "sync_interval", "stats_window",
-                "drain", "seed", "name",
+                "drain", "seed", "name", "admission",
             },
             "multi scenario",
         )
@@ -1039,6 +1118,10 @@ class MultiScenario:
             drain=float(data.get("drain", 5.0)),
             seed=int(data.get("seed", 0)),
             name=str(data.get("name", "")),
+            admission=(
+                None if data.get("admission") is None
+                else PolicySpec.from_dict(data["admission"])
+            ),
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -1062,25 +1145,189 @@ class MultiScenario:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def scenario_from_dict(data: dict) -> "Scenario | MultiScenario":
-    """Parse either schema, auto-detected.
+def scenario_from_dict(data: dict) -> "Scenario | MultiScenario | SweepSpec":
+    """Parse any scenario-file schema, auto-detected.
 
-    A mapping with a ``tenants`` key is a :class:`MultiScenario`; anything
-    else is a single-app :class:`Scenario`.  The CLI and loaders use this
-    so one ``--file`` flag serves both shapes.
+    A mapping with a ``base`` key is a :class:`SweepSpec` (a scenario plus
+    sweep axes), one with a ``tenants`` key is a :class:`MultiScenario`,
+    anything else is a single-app :class:`Scenario`.  The CLI and loaders
+    use this so one ``--file`` flag serves all three shapes.
     """
     if not isinstance(data, dict):
         raise ValueError(
             f"scenario file must hold a JSON object, got {type(data).__name__}"
         )
+    if "base" in data or "axes" in data:
+        return SweepSpec.from_dict(data)
     if "tenants" in data:
         return MultiScenario.from_dict(data)
     return Scenario.from_dict(data)
 
 
-def load_scenario_file(path: str | Path) -> "Scenario | MultiScenario":
-    """Load a scenario file of either schema (see :func:`scenario_from_dict`)."""
+def load_scenario_file(path: str | Path) -> "Scenario | MultiScenario | SweepSpec":
+    """Load a scenario file of any schema (see :func:`scenario_from_dict`)."""
     return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+def _apply_axis(
+    spec: "Scenario | MultiScenario", axis: str, value: Any
+) -> "Scenario | MultiScenario":
+    """One cell of a sweep grid: ``spec`` with ``axis`` set to ``value``.
+
+    Axes address the spec by dotted path: a bare field name
+    (``seed``, ``drain``, ``workers``), a nested section field
+    (``trace.base_rate``, ``scaling.cold_start``), a whole policy
+    (``policy``) or one policy parameter (``policy.lam``,
+    ``admission.rate``).  On a :class:`MultiScenario`, policy axes apply to
+    *every* tenant — the grid compares configurations, not tenant mixes.
+    """
+    if isinstance(spec, MultiScenario):
+        if axis == "policy" or axis.startswith("policy."):
+            return replace(spec, tenants=tuple(
+                replace(t, scenario=_apply_axis(t.scenario, axis, value))
+                for t in spec.tenants
+            ))
+        if axis == "admission":
+            return replace(spec, admission=PolicySpec.coerce(value))
+        if axis.startswith("admission."):
+            if spec.admission is None:
+                raise ValueError(
+                    f"axis {axis!r} requires the base spec to declare an "
+                    "admission policy"
+                )
+            param = axis.split(".", 1)[1]
+            return replace(
+                spec, admission=spec.admission.with_params(**{param: value})
+            )
+        if axis in {f.name for f in fields(spec)}:
+            return replace(spec, **{axis: value})
+        raise ValueError(f"unknown multi-scenario sweep axis {axis!r}")
+    if axis == "policy":
+        return replace(spec, policy=PolicySpec.coerce(value))
+    if axis.startswith("policy."):
+        param = axis.split(".", 1)[1]
+        return replace(spec, policy=spec.policy.with_params(**{param: value}))
+    head, _, rest = axis.partition(".")
+    if rest:
+        if head not in ("trace", "app", "scaling"):
+            raise ValueError(f"unknown sweep axis {axis!r}")
+        section = getattr(spec, head)
+        if rest not in {f.name for f in fields(section)}:
+            raise ValueError(f"unknown sweep axis {axis!r}")
+        return replace(spec, **{head: replace(section, **{rest: value})})
+    if axis in {f.name for f in fields(spec)}:
+        return replace(spec, **{axis: value})
+    raise ValueError(f"unknown scenario sweep axis {axis!r}")
+
+
+def scenario_axes(
+    base: "Scenario | MultiScenario",
+    axes: "Mapping[str, Sequence] | Iterable[tuple[str, Sequence]]",
+) -> "list[Scenario | MultiScenario]":
+    """Expand a base spec over a cross product of declared axes.
+
+    The generalisation of :func:`scenario_grid` from (policies x seeds) to
+    *any* point set in scenario space — including policy parameters, so a
+    Figure-11-style ablation grid (``{"policy.lam": [0.05, 0.1, 0.3]}``)
+    sweeps, caches and parallelises like any other axis.  Axes expand in
+    declaration order with the last axis varying fastest; every produced
+    spec re-runs full construction validation.
+    """
+    items = list(axes.items()) if isinstance(axes, Mapping) else list(axes)
+    out: "list[Scenario | MultiScenario]" = [base]
+    for axis, values in items:
+        values = list(values)
+        if not values:
+            raise ValueError(f"sweep axis {axis!r} has no values")
+        out = [_apply_axis(spec, str(axis), v) for spec in out for v in values]
+    return out
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: one base spec plus named axes, as one file.
+
+    The serializable form of :func:`scenario_axes` — ``repro scenario
+    sweep --file`` auto-detects it (a top-level ``base`` key), so a whole
+    ablation study travels as a single JSON document::
+
+        {"name": "fig11",
+         "base": {"app": {"name": "tm"}, "policy": "PARD", ...},
+         "axes": {"policy.lam": [0.05, 0.1, 0.3], "seed": [0, 1]}}
+    """
+
+    base: "Scenario | MultiScenario"
+    axes: tuple = ()  # ((axis, (value, ...)), ...) in declaration order
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, dict):
+            object.__setattr__(self, "base", scenario_from_dict(self.base))
+        if isinstance(self.base, SweepSpec):
+            raise ValueError("sweep specs do not nest")
+        raw = (
+            self.axes.items() if isinstance(self.axes, Mapping) else self.axes
+        )
+        frozen: list[tuple[str, tuple]] = []
+        for axis, values in raw:
+            axis = str(axis)
+            values = list(values)
+            if not values:
+                raise ValueError(f"sweep axis {axis!r} has no values")
+            if axis in ("policy", "admission"):
+                values = [PolicySpec.coerce(v) for v in values]
+            else:
+                bad = [v for v in values if isinstance(v, (dict, list, tuple))]
+                if bad:
+                    raise ValueError(
+                        f"sweep axis {axis!r} values must be scalars"
+                    )
+            frozen.append((axis, tuple(values)))
+        object.__setattr__(self, "axes", tuple(frozen))
+
+    def expand(self) -> "list[Scenario | MultiScenario]":
+        """The grid, in deterministic declaration order."""
+        return scenario_axes(self.base, self.axes)
+
+    def validate(self) -> "SweepSpec":
+        """Validate the base and every expanded grid member up front."""
+        for spec in self.expand():
+            spec.validate()
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": {
+                axis: [
+                    v.to_compact() if isinstance(v, PolicySpec) else v
+                    for v in values
+                ]
+                for axis, values in self.axes
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        _check_keys(data, {"base", "axes", "name"}, "sweep")
+        if "base" not in data:
+            raise ValueError("a sweep file requires a 'base' scenario")
+        axes = data.get("axes", {})
+        if not isinstance(axes, dict):
+            raise ValueError("sweep 'axes' must be a mapping of axis -> values")
+        return cls(
+            base=scenario_from_dict(data["base"]),
+            axes=tuple(axes.items()),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SweepSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))
 
 
 def multi_scenario_grid(

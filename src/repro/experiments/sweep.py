@@ -105,18 +105,19 @@ class SweepCell:
         if self.config is not None and not self.policy:
             raise ValueError("config cells need a policy name")
         if self.scenario is not None:
-            if self.policy and self.policy != self.scenario.policy:
+            label = self.scenario.policy.label()
+            if self.policy and self.policy != label:
                 # A divergent label would fingerprint (and cache) the cell
                 # under a policy other than the one that actually runs.
                 raise ValueError(
                     f"cell policy {self.policy!r} conflicts with scenario "
-                    f"policy {self.scenario.policy!r}"
+                    f"policy {label!r}"
                 )
-            object.__setattr__(self, "policy", self.scenario.policy)
+            object.__setattr__(self, "policy", label)
         if self.multi is not None:
             # One label covering every tenant's policy (dedup, stable order).
             joined = "+".join(dict.fromkeys(
-                t.scenario.policy for t in self.multi.tenants
+                t.scenario.policy.label() for t in self.multi.tenants
             ))
             if self.policy and self.policy != joined:
                 raise ValueError(
@@ -255,12 +256,13 @@ def cell_fingerprint(cell: SweepCell) -> str | None:
         for tenant in cell.multi.tenants:
             s = tenant.scenario
             if _references_external_components(s.trace.name, s.app.name,
-                                               s.policy):
+                                               s.policy.name):
                 return None
         payload["multi"] = cell.multi.fingerprint()
     elif cell.scenario is not None:
         s = cell.scenario
-        if _references_external_components(s.trace.name, s.app.name, s.policy):
+        if _references_external_components(s.trace.name, s.app.name,
+                                           s.policy.name):
             return None
         # The scenario's own digest is already canonical over numeric
         # spelling (int vs float authoring); fold it in rather than the
@@ -542,6 +544,31 @@ def run_sweep(
                 if cache and fingerprints[i] and result.ok:
                     cache.store(fingerprints[i], result)
     return [r for r in results if r is not None]
+
+
+def summaries_payload(results: Sequence[CellResult]) -> list[dict]:
+    """Deterministic JSON form of sweep results (no timings, no cache bits).
+
+    Everything in the payload is a pure function of the cells, so two runs
+    of the same grid — serial, 4-proc, cached or fresh — serialize
+    byte-identically.  ``repro ... --save-summaries`` writes this for CI to
+    diff across worker counts.
+    """
+    from dataclasses import asdict
+
+    out: list[dict] = []
+    for r in results:
+        entry: dict = {"label": r.cell.label(), "policy": r.policy_name}
+        if r.ok and r.summary is not None:
+            entry["summary"] = asdict(r.summary)
+            if r.per_app:
+                entry["per_app"] = {
+                    app: asdict(s) for app, s in r.per_app.items()
+                }
+        else:
+            entry["error"] = (r.error or "").strip().splitlines()[-1:] or ["?"]
+        out.append(entry)
+    return out
 
 
 def summary_table(results: Sequence[CellResult], markdown: bool = False) -> str:

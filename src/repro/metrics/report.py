@@ -69,6 +69,21 @@ def comparison_table(
     return format_table(headers, rows, markdown=markdown)
 
 
+def policy_descriptions(results: "dict[str, ExperimentResult]") -> str:
+    """One describe line per policy, reflecting its full parameterisation.
+
+    Result tables key on the policy label; these lines spell out the knob
+    values behind each label (``PARD(lam=0.3): PARD(lam=0.3) [lam=0.3,
+    sub=full, ...]``) so two parameterized variants of one system are
+    distinguishable in every report, not just by name.
+    """
+    lines = []
+    for label, res in results.items():
+        desc = res.cluster.policy.describe()
+        lines.append(desc if desc.startswith(label) else f"{label}: {desc}")
+    return "\n".join(lines)
+
+
 def per_app_table(
     summaries: "dict[str, Summary]", markdown: bool = False
 ) -> str:

@@ -30,16 +30,34 @@ class ClipperPlusPlusPolicy(DropPolicy):
         spec = cluster.spec
         shares = slo_split(spec, cluster.registry, cluster.slo)
         self._cum_budget = {}
+        memo: dict[str, float] = {}
         for mid in spec.module_ids:
-            self._cum_budget[mid] = shares[mid] + self._best_upstream(mid, shares)
+            self._cum_budget[mid] = shares[mid] + self._best_upstream(
+                mid, shares, memo
+            )
 
-    def _best_upstream(self, module_id: str, shares: dict[str, float]) -> float:
-        """Cumulative share of the longest upstream path (exclusive)."""
+    def _best_upstream(
+        self,
+        module_id: str,
+        shares: dict[str, float],
+        memo: dict[str, float],
+    ) -> float:
+        """Cumulative share of the longest upstream path (exclusive).
+
+        Memoized per bind: the bare recursion walks every upstream path,
+        which is exponential on dense DAGs.
+        """
+        cached = memo.get(module_id)
+        if cached is not None:
+            return cached
         assert self.cluster is not None
         preds = self.cluster.spec.predecessors(module_id)
-        if not preds:
-            return 0.0
-        return max(shares[p] + self._best_upstream(p, shares) for p in preds)
+        best = max(
+            (shares[p] + self._best_upstream(p, shares, memo) for p in preds),
+            default=0.0,
+        )
+        memo[module_id] = best
+        return best
 
     def should_drop(self, ctx: DropContext) -> DropReason | None:
         assert self.cluster is not None

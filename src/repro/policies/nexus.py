@@ -49,6 +49,9 @@ class NexusPolicy(DropPolicy):
             return DropReason.ESTIMATED_VIOLATION
         return None
 
+    def describe(self) -> str:
+        return f"{self.name} [windowed={self.windowed}]"
+
 
 class _NexusScanQueue(RequestQueue):
     """FIFO queue implementing Nexus's sliding-window scan on pop.

@@ -67,3 +67,6 @@ class OverloadControlPolicy(DropPolicy):
         if ctx.now > ctx.request.deadline:
             return DropReason.ALREADY_EXPIRED
         return None
+
+    def describe(self) -> str:
+        return f"{self.name} [threshold={self.threshold}, alpha={self.alpha}]"

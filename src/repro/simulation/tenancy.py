@@ -303,6 +303,11 @@ class SharedCluster:
         self.policy.bind(self)
         for view in self.views.values():
             view.policy.bind(view)
+        # Admission (fairness) policies that need cluster state — pool
+        # membership, tenant views, aggregate queues — bind last, once the
+        # views exist (see repro.policies.fairness.AdmissionPolicy).
+        if admission is not None and hasattr(admission, "bind"):
+            admission.bind(self)
 
     # -- cluster interface consumed by modules/workers/scalers -------------
 

@@ -1,0 +1,134 @@
+"""Regression tests: longest-upstream-share computation on dense DAGs.
+
+``PardPolicy._best_upstream_share`` (and Clipper++'s bind-time equivalent)
+used to recurse per predecessor with no memo — exponential in DAG depth on
+layered all-to-all graphs (width^depth path expansions).  These tests pin
+the memoized behaviour: one visit per node, correct longest-path shares,
+and invalidation when the shares are recomputed.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import BudgetMode, PardPolicy
+from repro.pipeline.applications import Application
+from repro.pipeline.spec import ModuleSpec, PipelineSpec
+from repro.pipeline.profiles import DEFAULT_PROFILES
+from repro.policies.clipper import ClipperPlusPlusPolicy
+
+#: Deep enough that the unmemoized recursion (3^38 expansions) could never
+#: finish — the test only passes at all because the memo makes it linear.
+LAYERS = 40
+WIDTH = 3
+
+
+def wide_dag(layers: int = LAYERS, width: int = WIDTH) -> PipelineSpec:
+    """src -> ``layers`` all-to-all layers of ``width`` -> sink."""
+    modules = [
+        ModuleSpec("src", "object_detection", pres=(),
+                   subs=tuple(f"l0_{k}" for k in range(width)))
+    ]
+    for i in range(layers):
+        pres = (
+            ("src",) if i == 0
+            else tuple(f"l{i - 1}_{k}" for k in range(width))
+        )
+        subs = (
+            ("sink",) if i == layers - 1
+            else tuple(f"l{i + 1}_{k}" for k in range(width))
+        )
+        for j in range(width):
+            modules.append(
+                ModuleSpec(f"l{i}_{j}", "object_detection", pres=pres,
+                           subs=subs)
+            )
+    modules.append(
+        ModuleSpec("sink", "object_detection",
+                   pres=tuple(f"l{layers - 1}_{k}" for k in range(width)),
+                   subs=())
+    )
+    return PipelineSpec(name="wide", modules=modules)
+
+
+class _StubCluster:
+    """Just enough cluster surface for the budget-share machinery."""
+
+    def __init__(self, spec: PipelineSpec, slo: float = 1.0) -> None:
+        self.spec = spec
+        self.registry = DEFAULT_PROFILES
+        self.slo = slo
+
+    def hop_id(self, module) -> str:  # pragma: no cover - interface parity
+        return module.spec.id
+
+
+class TestPardUpstreamShareMemo:
+    def _bound_policy(self, spec: PipelineSpec) -> PardPolicy:
+        policy = PardPolicy(budget_mode=BudgetMode.SPLIT, samples=10)
+        policy.cluster = _StubCluster(spec)
+        policy._recompute_static_budgets()
+        return policy
+
+    def test_wide_dag_is_linear_not_exponential(self):
+        spec = wide_dag()
+        policy = self._bound_policy(spec)
+        calls = 0
+        original = policy._best_upstream_share
+
+        def counting(module_id: str) -> float:
+            nonlocal calls
+            calls += 1
+            return original(module_id)
+
+        policy._best_upstream_share = counting
+        budget = policy._cumulative_budget("sink", slo=1.0)
+        # Identical profiles: every module holds share 1/N and each
+        # entry-to-sink path visits LAYERS + 2 modules.
+        n = len(spec.modules)
+        assert abs(budget - (LAYERS + 2) / n) < 1e-9
+        # Linear: one expansion per node plus one memo hit per edge (the
+        # unmemoized recursion needed width^depth ~ 3^38 expansions).
+        edges = sum(len(m.pres) for m in spec.modules)
+        assert calls <= n + edges
+
+    def test_memo_reused_across_modules(self):
+        spec = wide_dag(layers=4)
+        policy = self._bound_policy(spec)
+        first = policy._cumulative_budget("sink", slo=1.0)
+        # The memo must serve repeat queries (per-request hot path).
+        assert policy._cumulative_budget("sink", slo=1.0) == first
+        assert policy._upstream_memo  # populated
+
+    def test_memo_invalidated_when_shares_recompute(self):
+        spec = wide_dag(layers=3)
+        policy = self._bound_policy(spec)
+        policy._cumulative_budget("sink", slo=1.0)
+        assert policy._upstream_memo
+        # A share refresh (static or WCL) must flush stale path sums.
+        policy._recompute_static_budgets()
+        assert not policy._upstream_memo
+
+    def test_chain_fast_path_unaffected(self):
+        spec = PipelineSpec(name="chain", modules=[
+            ModuleSpec("a", "object_detection", subs=("b",)),
+            ModuleSpec("b", "object_detection", pres=("a",), subs=("c",)),
+            ModuleSpec("c", "object_detection", pres=("b",)),
+        ])
+        policy = self._bound_policy(spec)
+        assert abs(policy._cumulative_budget("b", slo=0.9) - 0.6) < 1e-9
+
+
+class TestClipperUpstreamMemo:
+    def test_wide_dag_bind_completes(self):
+        spec = wide_dag()
+        policy = ClipperPlusPlusPolicy()
+        policy.bind(_StubCluster(spec, slo=1.0))
+        n = len(spec.modules)
+        # Equal durations: cumulative budget grows linearly along depth.
+        assert abs(policy._cum_budget["src"] - 1 / n) < 1e-9
+        assert abs(policy._cum_budget["sink"] - (LAYERS + 2) / n) < 1e-9
+
+
+def test_wide_dag_regression_app_builds():
+    """The DAG itself stays a valid Application (join accounting etc.)."""
+    app = Application(spec=wide_dag(layers=3), slo=0.5)
+    assert len(app.spec.modules) == 3 * WIDTH + 2

@@ -1,0 +1,107 @@
+"""Round-trip property tests over every committed example scenario file.
+
+For each file under ``examples/scenarios/``: parsing, re-serialising and
+re-parsing must preserve both equality and the cache fingerprint — the
+property the disk cache and the sweep workers rely on.  Legacy bare-string
+``"policy"`` JSON must coerce to an equivalent :class:`PolicySpec`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenario import (
+    MultiScenario,
+    PolicySpec,
+    Scenario,
+    SweepSpec,
+    load_scenario_file,
+    scenario_from_dict,
+)
+
+SCENARIO_DIR = (
+    Path(__file__).resolve().parent.parent.parent / "examples" / "scenarios"
+)
+EXAMPLE_FILES = sorted(SCENARIO_DIR.glob("*.json"))
+
+
+def test_examples_exist():
+    assert EXAMPLE_FILES, f"no example scenarios under {SCENARIO_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_dict_round_trip_preserves_fingerprint(path: Path):
+    spec = load_scenario_file(path)
+    again = scenario_from_dict(spec.to_dict())
+    assert again == spec
+    if isinstance(spec, SweepSpec):
+        # A sweep file's identity is its expanded grid.
+        assert [s.fingerprint() for s in again.expand()] == [
+            s.fingerprint() for s in spec.expand()
+        ]
+    else:
+        assert again.fingerprint() == spec.fingerprint()
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_json_round_trip_is_stable(path: Path):
+    spec = load_scenario_file(path)
+    text = spec.to_json()
+    assert scenario_from_dict(json.loads(text)) == spec
+    # Serialising twice is byte-stable (no dict-order nondeterminism).
+    assert scenario_from_dict(json.loads(text)).to_json() == text
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_every_example_validates(path: Path):
+    load_scenario_file(path).validate()
+
+
+def _scenarios_of(spec) -> "list[Scenario]":
+    if isinstance(spec, SweepSpec):
+        out = []
+        for member in spec.expand():
+            out.extend(_scenarios_of(member))
+        return out
+    if isinstance(spec, MultiScenario):
+        return [t.scenario for t in spec.tenants]
+    return [spec]
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_legacy_bare_string_policy_coerces_equivalently(path: Path):
+    """Rewriting any scenario's policy as the legacy bare string (when it
+    has no params) or the explicit mapping form yields an equal spec."""
+    spec = load_scenario_file(path)
+    for scenario in _scenarios_of(spec):
+        d = scenario.to_dict()
+        compact = d["policy"]
+        explicit = (
+            {"name": compact, "params": {}} if isinstance(compact, str)
+            else compact
+        )
+        explicit_spec = Scenario.from_dict(dict(d, policy=explicit))
+        assert explicit_spec == scenario
+        assert explicit_spec.fingerprint() == scenario.fingerprint()
+        assert isinstance(explicit_spec.policy, PolicySpec)
+
+
+def test_bare_string_and_mapping_forms_share_fingerprint():
+    bare = Scenario.from_dict({"app": {"name": "tm"}, "policy": "Naive"})
+    mapped = Scenario.from_dict(
+        {"app": {"name": "tm"}, "policy": {"name": "Naive", "params": {}}}
+    )
+    assert bare == mapped
+    assert bare.fingerprint() == mapped.fingerprint()
+    assert bare.policy == PolicySpec("Naive")

@@ -170,15 +170,14 @@ class TestValidation:
         with pytest.raises(ValueError, match="at least one tenant"):
             MultiScenario(tenants=())
 
-    def test_duplicate_tenant_labels_rejected(self):
-        ms = full_multi(
-            tenants=(
-                TenantSpec(scenario=victim_scenario()),
-                TenantSpec(scenario=victim_scenario(seed=9)),
-            ),
-        )
+    def test_duplicate_tenant_labels_rejected_at_construction(self):
         with pytest.raises(ValueError, match="unique"):
-            ms.validate()
+            full_multi(
+                tenants=(
+                    TenantSpec(scenario=victim_scenario()),
+                    TenantSpec(scenario=victim_scenario(seed=9)),
+                ),
+            )
 
     def test_tenant_workers_rejected(self):
         ms = full_multi(
@@ -225,30 +224,28 @@ class TestValidation:
             ms.validate()
 
     def test_workers_must_cover_every_pool(self):
-        ms = full_multi(workers={"vic_a": 2, "vic_b": 2})
+        # Inline tenant apps resolve at construction, so mistargeted pool
+        # references fail fast there instead of as a mid-run KeyError.
         with pytest.raises(ValueError, match="missing"):
-            ms.validate()
+            full_multi(workers={"vic_a": 2, "vic_b": 2})
 
     def test_workers_unknown_pool_rejected(self):
-        ms = full_multi(
-            workers={"vic_a": 2, "vic_b": 2, "agg_a": 1, "bogus": 3}
-        )
         with pytest.raises(ValueError, match="unknown pools"):
-            ms.validate()
+            full_multi(
+                workers={"vic_a": 2, "vic_b": 2, "agg_a": 1, "bogus": 3}
+            )
 
     def test_failure_unknown_pool_rejected(self):
-        ms = full_multi(
-            failures=(FailureEvent(time=1.0, module_id="nosuch"),)
-        )
         with pytest.raises(ValueError, match="unknown pool"):
-            ms.validate()
+            full_multi(
+                failures=(FailureEvent(time=1.0, module_id="nosuch"),)
+            )
 
     def test_failure_beyond_longest_trace_rejected(self):
-        ms = full_multi(
-            failures=(FailureEvent(time=100.0, module_id="vic_a"),)
-        )
         with pytest.raises(ValueError, match="outside the longest"):
-            ms.validate()
+            full_multi(
+                failures=(FailureEvent(time=100.0, module_id="vic_a"),)
+            )
 
     def test_conflicting_profiles_rejected(self):
         clashing = aggressor_scenario(

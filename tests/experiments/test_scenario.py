@@ -108,7 +108,7 @@ class TestRoundTrip:
 
     def test_minimal_dict_fills_defaults(self):
         s = Scenario.from_dict({"app": {"name": "lv"}})
-        assert s.policy == "PARD"
+        assert s.policy.name == "PARD" and not s.policy.params
         assert s.trace.name == "tweet"
         assert not s.scaling.enabled
 
@@ -153,16 +153,24 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown trace"):
             scenario.validate()
 
-    def test_unknown_worker_module_rejected_by_validate(self):
-        scenario = full_scenario(workers={"m1": 2, "bogus": 2})
+    def test_unknown_worker_module_rejected_at_construction(self):
+        # Inline pipelines carry their module ids, so a mistargeted worker
+        # map fails when the spec is built — not as a mid-run KeyError.
         with pytest.raises(ValueError, match="unknown modules"):
-            scenario.validate()
+            full_scenario(workers={"m1": 2, "bogus": 2})
 
-    def test_unknown_failure_module_rejected_by_validate(self):
-        scenario = full_scenario(
-            failures=(FailureEvent(time=1.0, module_id="m9"),)
-        )
+    def test_unknown_failure_module_rejected_at_construction(self):
         with pytest.raises(ValueError, match="unknown module 'm9'"):
+            full_scenario(failures=(FailureEvent(time=1.0, module_id="m9"),))
+
+    def test_unresolvable_app_defers_target_checks_to_validate(self):
+        # A named app that is not registered yet cannot be resolved at
+        # construction; the bad failure target surfaces at validate().
+        scenario = Scenario(
+            app=AppSpec(name="not-registered-yet"),
+            failures=(FailureEvent(time=1.0, module_id="m9"),),
+        )
+        with pytest.raises(ValueError, match="unknown application"):
             scenario.validate()
 
     def test_validate_passes_and_chains(self):
@@ -188,10 +196,9 @@ class TestValidation:
             TraceSpec(duration=10.0,
                       bursts=(BurstSpec(start=20.0, length=2.0, factor=2.0),))
 
-    def test_partial_workers_dict_rejected_by_validate(self):
-        scenario = full_scenario(workers={"m1": 2})
+    def test_partial_workers_dict_rejected_at_construction(self):
         with pytest.raises(ValueError, match="missing"):
-            scenario.validate()
+            full_scenario(workers={"m1": 2})
 
     def test_nonpositive_workers_rejected_by_validate(self):
         with pytest.raises(ValueError, match=">= 1"):
@@ -199,12 +206,9 @@ class TestValidation:
         with pytest.raises(ValueError, match=">= 1"):
             full_scenario(workers={"m1": 2, "m2": 0}).validate()
 
-    def test_failure_after_trace_end_rejected_by_validate(self):
-        scenario = full_scenario(
-            failures=(FailureEvent(time=600.0, module_id="m1"),)
-        )
+    def test_failure_after_trace_end_rejected_at_construction(self):
         with pytest.raises(ValueError, match="outside the trace duration"):
-            scenario.validate()
+            full_scenario(failures=(FailureEvent(time=600.0, module_id="m1"),))
 
     def test_reserved_trace_args_rejected(self):
         from repro.experiments.runner import ExperimentConfig
@@ -512,7 +516,7 @@ class TestExecution:
         grid = scenario_grid(full_scenario(), policies=["Naive", "Nexus"],
                              seeds=[0, 1, 2])
         assert len(grid) == 6
-        assert {g.policy for g in grid} == {"Naive", "Nexus"}
+        assert {g.policy.name for g in grid} == {"Naive", "Nexus"}
         assert {g.seed for g in grid} == {0, 1, 2}
 
     def test_grid_empty_axes_fall_back_to_base(self):
@@ -565,7 +569,7 @@ class TestSweepIntegration:
 
         try:
             cell = scenario_cells([
-                full_scenario(trace=TraceSpec(name=name, duration=4.0,
+                full_scenario(trace=TraceSpec(name=name, duration=8.0,
                                               base_rate=20.0))
             ])[0]
             assert cell_fingerprint(cell) is None

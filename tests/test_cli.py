@@ -285,3 +285,98 @@ class TestMultiScenarioCommands:
         out = capsys.readouterr().out
         assert "shared-tm-lv" in out
         assert "monitor" in out and "live" in out
+
+
+SWEEP_FILE = {
+    "name": "cli-axes",
+    "base": {
+        "name": "ax",
+        "app": {"name": "tm"},
+        "trace": {"name": "poisson", "base_rate": 30, "duration": 5},
+        "policy": {"name": "PARD", "params": {"samples": 200}},
+        "workers": 2,
+    },
+    "axes": {"policy.lam": [0.05, 0.2, 0.4]},
+}
+
+
+class TestPolicySpecCommands:
+    def sweep_file(self, tmp_path, spec=None):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec or SWEEP_FILE))
+        return str(path)
+
+    def test_list_params_prints_schemas(self, capsys):
+        assert main(["list", "--params"]) == 0
+        out = capsys.readouterr().out
+        assert "policy parameters:" in out
+        assert "lam=0.1" in out and "budget_mode" in out
+        assert "admission parameters:" in out
+        assert "weighted-fair" in out and "token-bucket" in out
+
+    def test_scenario_sweep_expands_axes_file(self, capsys, tmp_path):
+        args = [
+            "scenario", "sweep", "--file", self.sweep_file(tmp_path),
+            "--workers", "1", "--no-cache", "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # One row per lam value, labelled with the swept parameter.
+        for lam in ("0.05", "0.2", "0.4"):
+            assert f"lam={lam}" in out, out
+
+    def test_scenario_run_rejects_axes_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="sweep axes"):
+            main(["scenario", "run", "--file", self.sweep_file(tmp_path)])
+
+    def test_save_summaries_bitwise_across_workers(self, tmp_path):
+        serial = tmp_path / "serial.json"
+        pooled = tmp_path / "pooled.json"
+        base = [
+            "scenario", "sweep", "--file", self.sweep_file(tmp_path),
+            "--no-cache", "--quiet",
+        ]
+        assert main(base + ["--workers", "1",
+                            "--save-summaries", str(serial)]) == 0
+        assert main(base + ["--workers", "2",
+                            "--save-summaries", str(pooled)]) == 0
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_run_prints_describe_line(self, capsys):
+        rc = main([
+            "run", "--app", "tm", "--trace", "poisson", "--duration", "5",
+            "--policy", "PARD", "--no-scaling",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[lam=" in out  # the describe line spells out the knobs
+
+    def test_invalid_axis_rejected_cleanly(self, tmp_path):
+        bad = dict(SWEEP_FILE, axes={"policy.bogus": [1]})
+        with pytest.raises(SystemExit, match="invalid scenario"):
+            main(["scenario", "sweep", "--file",
+                  self.sweep_file(tmp_path, bad)])
+
+    def test_admission_scenario_from_json(self, capsys):
+        from pathlib import Path
+
+        example = (Path(__file__).resolve().parent.parent
+                   / "examples" / "scenarios" / "fair_share.json")
+        rc = main(["scenario", "run", "--file", str(example)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "victim" in out and "aggressor" in out
+
+    def test_policies_flag_conflicts_with_policy_axis(self, tmp_path):
+        with pytest.raises(SystemExit, match="already sweeps a policy axis"):
+            main(["scenario", "sweep", "--file", self.sweep_file(tmp_path),
+                  "--policies", "PARD,Naive", "--quiet", "--no-cache"])
+
+    def test_seeds_flag_composes_when_axis_absent(self, capsys, tmp_path):
+        args = [
+            "scenario", "sweep", "--file", self.sweep_file(tmp_path),
+            "--seeds", "0,1", "--workers", "1", "--no-cache", "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "s0" in out and "s1" in out
