@@ -1,0 +1,36 @@
+"""Performance-benchmark subsystem (``repro bench``).
+
+Times canonical single-scenario, multi-tenant and sweep workloads on the
+simulation core (wall-clock and simulator events/second), writes a
+``BENCH_*.json`` report, and verifies that ``--save-summaries`` output for
+the committed example scenarios is byte-identical to the golden files in
+``benchmarks/goldens/`` — the regression gate for both speed and
+determinism.
+"""
+
+from .harness import (
+    BENCH_SCHEMA,
+    GOLDEN_SCENARIOS,
+    BenchResult,
+    WorkloadResult,
+    check_goldens,
+    format_table,
+    run_bench,
+    run_workload,
+    write_report,
+)
+from .workloads import BenchWorkload, bench_workloads
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "GOLDEN_SCENARIOS",
+    "BenchResult",
+    "BenchWorkload",
+    "WorkloadResult",
+    "bench_workloads",
+    "check_goldens",
+    "format_table",
+    "run_bench",
+    "run_workload",
+    "write_report",
+]

@@ -1,0 +1,167 @@
+"""Canonical benchmark workloads for the simulation core.
+
+Three macro-benchmark components mirror the three ways the repo exercises
+the simulator:
+
+* **single-dag** — the paper's DAG application (``da``) under PARD at high
+  utilization: entry fan-out, join accounting and per-fork routing on
+  every request.
+* **multi-tenant** — a shared cluster hosting the DAG app next to the
+  ``tm`` chain (they share the ``face_recognition`` pool), with a burst on
+  the chain tenant: pool demultiplexing, per-tenant books, cross-app load.
+* **sweep-grid** — a fig-10-style apps x policies grid (all four paper
+  applications under PARD and Naive), executed serially in-process so the
+  number measures the engine rather than process-pool overhead.  Cells
+  only consume summaries, so they run lean when the installed package
+  supports it.
+
+Workloads are declared as plain scenario dicts — the same schema scenario
+files use — so the harness is self-contained and runs unmodified against
+older checkouts when measuring a baseline.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable
+
+from ..experiments.runner import run_multi_scenario, run_scenario
+from ..experiments.scenario import (
+    MultiScenario,
+    Scenario,
+    SweepSpec,
+    scenario_from_dict,
+)
+
+#: Trace seconds per workload: full fidelity vs ``--quick``.
+_FULL = {"single": 30.0, "multi": 20.0, "sweep": 15.0}
+_QUICK = {"single": 10.0, "multi": 8.0, "sweep": 6.0}
+
+
+def _single_dag(duration: float) -> dict:
+    return {
+        "name": "bench-single-dag",
+        "app": {"name": "da"},
+        "trace": {"name": "tweet", "duration": duration},
+        "policy": "PARD",
+        "utilization": 0.95,
+        "workers": 4,
+        "seed": 0,
+    }
+
+
+def _multi_tenant(duration: float) -> dict:
+    return {
+        "name": "bench-multi-tenant",
+        "tenants": [
+            {
+                "weight": 1.0,
+                "scenario": {
+                    "name": "dag",
+                    "app": {"name": "da"},
+                    "policy": "PARD",
+                    "trace": {
+                        "name": "tweet",
+                        "duration": duration,
+                        "base_rate": 60,
+                    },
+                },
+            },
+            {
+                "weight": 1.0,
+                "scenario": {
+                    "name": "chain",
+                    "app": {"name": "tm"},
+                    "policy": "PARD",
+                    "trace": {
+                        "name": "poisson",
+                        "duration": duration,
+                        "base_rate": 70,
+                        "bursts": [
+                            {"start": duration * 0.4, "length": duration * 0.25,
+                             "factor": 3.0}
+                        ],
+                    },
+                },
+            },
+        ],
+        "seed": 0,
+    }
+
+
+def _sweep_grid(duration: float) -> dict:
+    return {
+        "name": "bench-sweep-grid",
+        "base": {
+            "name": "cell",
+            "app": {"name": "tm"},
+            "trace": {"name": "tweet", "duration": duration},
+            "policy": "PARD",
+            "utilization": 0.95,
+            "workers": 4,
+            "seed": 0,
+        },
+        "axes": {
+            "app.name": ["tm", "lv", "gm", "da"],
+            "policy": ["PARD", "Naive"],
+        },
+    }
+
+
+#: ``run_scenario`` grew a ``lean`` keyword in this PR; detect it so the
+#: identical harness also runs against pre-lean checkouts when measuring
+#: a baseline (falling back to full collection — their real cost).
+_SUPPORTS_LEAN = "lean" in inspect.signature(run_scenario).parameters
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One timed macro-benchmark component."""
+
+    name: str
+    kind: str  # "single" | "multi" | "sweep"
+    run: Callable[[], tuple[int, int]]  # () -> (simulator events, requests)
+    cells: int = 1
+
+
+def _run_single(spec: dict) -> tuple[int, int]:
+    result = run_scenario(Scenario.from_dict(spec))
+    return result.cluster.sim.processed_events, result.summary.total
+
+
+def _run_multi(spec: dict) -> tuple[int, int]:
+    result = run_multi_scenario(MultiScenario.from_dict(spec))
+    return result.cluster.sim.processed_events, result.aggregate.total
+
+
+def _run_sweep(spec: dict) -> tuple[int, int]:
+    sweep = SweepSpec(base=scenario_from_dict(spec["base"]),
+                      axes=spec["axes"], name=spec["name"])
+    events = requests = 0
+    for scenario in sweep.expand():
+        scenario.validate()
+        if _SUPPORTS_LEAN:
+            result = run_scenario(scenario, lean=True)
+        else:  # pragma: no cover - baseline measurement path
+            result = run_scenario(scenario)
+        events += result.cluster.sim.processed_events
+        requests += result.summary.total
+    return events, requests
+
+
+def bench_workloads(quick: bool = False) -> list[BenchWorkload]:
+    """The canonical macro-benchmark suite (scaled down under --quick)."""
+    durations = _QUICK if quick else _FULL
+    single = _single_dag(durations["single"])
+    multi = _multi_tenant(durations["multi"])
+    sweep = _sweep_grid(durations["sweep"])
+    n_cells = 1
+    for values in sweep["axes"].values():
+        n_cells *= len(values)
+    return [
+        BenchWorkload("single-dag", "single", lambda: _run_single(single)),
+        BenchWorkload("multi-tenant", "multi", lambda: _run_multi(multi)),
+        BenchWorkload("sweep-grid", "sweep", lambda: _run_sweep(sweep),
+                      cells=n_cells),
+    ]

@@ -8,6 +8,7 @@ Examples::
     python -m repro scenario run --file scenario.json
     python -m repro scenario sweep --file scenario.json --policies PARD,Naive \
         --seeds 0,1,2 --workers 4
+    python -m repro bench --quick
     python -m repro list
 """
 
@@ -36,7 +37,7 @@ from .experiments.sweep import (
     prune_cache,
     run_sweep,
     scenario_cells,
-    summaries_payload,
+    summaries_text,
     summary_table,
     sweep_grid,
 )
@@ -171,6 +172,10 @@ def _run_cells(cells, args: argparse.Namespace) -> int:
             print(f"[{event.index + 1}/{event.total}] {event.cell.label()}: "
                   f"{status} ({event.elapsed:.1f}s)", file=sys.stderr)
 
+    if getattr(args, "lean", False):
+        from dataclasses import replace
+
+        cells = [replace(cell, lean=True) for cell in cells]
     cache_dir = None if args.no_cache else args.cache_dir
     results = run_sweep(
         cells,
@@ -179,13 +184,9 @@ def _run_cells(cells, args: argparse.Namespace) -> int:
         on_event=progress,
     )
     if args.save_summaries:
-        import json
         from pathlib import Path
 
-        payload = summaries_payload(results)
-        Path(args.save_summaries).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        )
+        Path(args.save_summaries).write_text(summaries_text(results))
     if args.max_cache_mb is not None:
         # Prune against the configured directory even under --no-cache:
         # the budget bounds what is on disk, not what this run wrote.
@@ -303,6 +304,44 @@ def cmd_scenario_sweep(args: argparse.Namespace) -> int:
     return _run_cells(scenario_cells(grid), args)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import format_table, run_bench, write_report
+
+    baseline = None
+    if args.baseline:
+        import json
+        from pathlib import Path
+
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.baseline}: {exc}") from None
+    scenarios_dir = None if args.no_determinism else args.scenarios
+    goldens_dir = None if args.no_determinism else args.goldens
+    try:
+        result, profile_text = run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            profile_top=args.profile,
+            scenarios_dir=scenarios_dir,
+            goldens_dir=goldens_dir,
+            baseline=baseline,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if profile_text:
+        print(profile_text)
+    print(format_table(result))
+    if args.out:
+        write_report(result, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if not result.deterministic:
+        bad = {k: v for k, v in result.determinism.items() if v != "ok"}
+        print(f"determinism check FAILED: {bad}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("applications:", ", ".join(known_applications()))
     print("traces:      ", ", ".join(known_traces()))
@@ -392,6 +431,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_exec_args(p_scn_sweep)
     p_scn_sweep.set_defaults(fn=cmd_scenario_sweep)
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the canonical simulation workloads and verify the "
+             "golden determinism fingerprints",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="scaled-down workloads, one run each (CI mode)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="timed runs per workload, best kept "
+                              "(default: 3, or 1 with --quick)")
+    p_bench.add_argument("--profile", type=int, default=0, metavar="N",
+                         help="also cProfile one pass and print the top N "
+                              "functions by cumulative time")
+    p_bench.add_argument("--out", default="BENCH_5.json", metavar="PATH",
+                         help="write the JSON report here (default: "
+                              "BENCH_5.json; empty string to skip)")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="earlier report to compute the speedup against")
+    p_bench.add_argument("--scenarios", default="examples/scenarios",
+                         help="scenario files for the determinism check")
+    p_bench.add_argument("--goldens", default="benchmarks/goldens",
+                         help="committed golden summaries directory")
+    p_bench.add_argument("--no-determinism", action="store_true",
+                         help="skip the golden-fingerprint determinism check")
+    p_bench.set_defaults(fn=cmd_bench)
+
     p_list = sub.add_parser(
         "list", help="list registered applications, traces and policies"
     )
@@ -427,6 +492,10 @@ def _add_sweep_exec_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--save-summaries", default=None, metavar="PATH",
                    help="write deterministic per-cell summaries as JSON "
                         "(byte-identical across worker counts)")
+    p.add_argument("--lean", action="store_true",
+                   help="collect summary counters only (no per-request "
+                        "records); faster, but per-module drop tables and "
+                        "latency analyses are unavailable")
 
 
 def main(argv: list[str] | None = None) -> int:

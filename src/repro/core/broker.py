@@ -54,19 +54,36 @@ class RequestBroker:
     def estimate(self, ctx: DropContext) -> LatencyEstimate:
         """End-to-end latency estimate for the request in ``ctx``."""
         backward = ctx.expected_start - ctx.request.sent_at
+        return LatencyEstimate(
+            backward=backward,
+            current_exec=ctx.batch_duration,
+            sub=self._sub(ctx),
+        )
+
+    def estimate_total(self, ctx: DropContext) -> float:
+        """Equation 3's scalar total, without building the decomposition.
+
+        The drop decision only compares the total against the SLO; this
+        runs once per drawn request, so it skips the frozen-dataclass
+        allocation :meth:`estimate` pays.
+        """
+        return (
+            ctx.expected_start - ctx.request.sent_at
+            + ctx.batch_duration
+            + self._sub(ctx)
+        )
+
+    def _sub(self, ctx: DropContext) -> float:
+        """Forward component L_sub for the request's current module."""
         assert self.planner.cluster is not None
         # Translate the data-plane module to this pipeline's DAG position:
         # in a shared cluster the pool id is not the tenant's module id.
         module_id = self.planner.cluster.hop_id(ctx.module)
         if self.sub_mode == SubMode.NONE:
-            sub = 0.0
-        elif self.sub_mode == SubMode.DURATIONS:
-            sub = self._durations_only(module_id)
-        else:
-            sub = self.planner.sub_estimate(module_id)
-        return LatencyEstimate(
-            backward=backward, current_exec=ctx.batch_duration, sub=sub
-        )
+            return 0.0
+        if self.sub_mode == SubMode.DURATIONS:
+            return self._durations_only(module_id)
+        return self.planner.sub_estimate(module_id)
 
     def _durations_only(self, module_id: str) -> float:
         """Max over downstream paths of the profiled execution durations."""

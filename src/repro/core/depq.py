@@ -105,8 +105,13 @@ class MinMaxHeap(Generic[T]):
 
     @staticmethod
     def _less(a: tuple[float, int, Any], b: tuple[float, int, Any]) -> bool:
-        """Strict ordering on (key, seq): seq breaks ties FIFO."""
-        return (a[0], a[1]) < (b[0], b[1])
+        """Strict ordering on (key, seq): seq breaks ties FIFO.
+
+        Seqs are unique, so comparing the full entries is equivalent —
+        the comparison never falls through to the item — and avoids
+        building a key tuple per probe.
+        """
+        return a < b
 
     def _swap(self, i: int, j: int) -> None:
         h = self._h
@@ -147,31 +152,40 @@ class MinMaxHeap(Generic[T]):
                 else:
                     return
 
-    def _descendants(self, i: int) -> list[tuple[int, bool]]:
-        """(index, is_grandchild) for children and grandchildren of ``i``."""
-        n = len(self._h)
-        out: list[tuple[int, bool]] = []
-        for c in (2 * i + 1, 2 * i + 2):
-            if c < n:
-                out.append((c, False))
-                for g in (2 * c + 1, 2 * c + 2):
-                    if g < n:
-                        out.append((g, True))
-        return out
-
     def _trickle_down(self, i: int) -> None:
+        # Inline scan over (up to) two children and four grandchildren:
+        # same extremum and tie-break order as the old list-building
+        # version ((key, seq) total order, first index wins ties), without
+        # allocating a descendants list + key tuples per level.
         is_min = _is_min_level(i)
         h = self._h
+        n = len(h)
         while True:
-            desc = self._descendants(i)
-            if not desc:
+            first_child = 2 * i + 1
+            if first_child >= n:
                 return
+            # Unique seqs mean full-entry tuple comparison never reaches
+            # the item, so entries compare directly (see _less).
+            m = first_child
+            mk = h[m]
+            is_grand = False
+            for c in (first_child, first_child + 1):
+                if c >= n:
+                    break
+                if c != first_child:
+                    ck = h[c]
+                    if (ck < mk) if is_min else (ck > mk):
+                        m, mk, is_grand = c, ck, False
+                for g in (2 * c + 1, 2 * c + 2):
+                    if g >= n:
+                        break
+                    gk = h[g]
+                    if (gk < mk) if is_min else (gk > mk):
+                        m, mk, is_grand = g, gk, True
             if is_min:
-                m, is_grand = min(desc, key=lambda d: (h[d[0]][0], h[d[0]][1]))
                 if not self._less(h[m], h[i]):
                     return
             else:
-                m, is_grand = max(desc, key=lambda d: (h[d[0]][0], h[d[0]][1]))
                 if not self._less(h[i], h[m]):
                     return
             self._swap(i, m)

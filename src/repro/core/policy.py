@@ -94,8 +94,7 @@ class PardPolicy(DropPolicy):
 
     def should_drop(self, ctx: DropContext) -> DropReason | None:
         if self.budget_mode == BudgetMode.E2E:
-            estimate = self.broker.estimate(ctx)
-            if estimate.total > ctx.slo:
+            if self.broker.estimate_total(ctx) > ctx.slo:
                 return DropReason.ESTIMATED_VIOLATION
             return None
         # Split-budget variants compare the *cumulative* elapsed time plus

@@ -167,8 +167,11 @@ class DeadlineDepqQueue(RequestQueue):
     policy's ``make_queue`` handles that), so modes never mix here.
     """
 
+    __slots__ = ("_module", "_module_id", "_controller", "_heap")
+
     def __init__(self, module: "Module", controller: AdaptivePriorityController) -> None:
         self._module = module
+        self._module_id = module.spec.id
         self._controller = controller
         self._heap: MinMaxHeap[Request] = MinMaxHeap()
 
@@ -176,12 +179,13 @@ class DeadlineDepqQueue(RequestQueue):
         self._heap.push(request.deadline, request)
 
     def pop(self, now: float) -> Request | None:
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             return None
-        mode = self._controller.current(self._module.spec.id)
+        mode = self._controller.current(self._module_id)
         if mode == PriorityMode.HBF:
-            return self._heap.pop_max()
-        return self._heap.pop_min()
+            return heap.pop_max()
+        return heap.pop_min()
 
     def __len__(self) -> int:
         return len(self._heap)

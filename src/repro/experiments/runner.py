@@ -223,8 +223,13 @@ def build_cluster(
     config: ExperimentConfig,
     policy: DropPolicy,
     trace: Trace | None = None,
+    lean: bool = False,
 ) -> Cluster:
-    """Construct the provisioned cluster for a config (no trace replayed)."""
+    """Construct the provisioned cluster for a config (no trace replayed).
+
+    ``lean=True`` collects streaming summary counters only (no per-request
+    records) — see :class:`~repro.metrics.collector.MetricsCollector`.
+    """
     app = config.resolve_app()
     trace = trace or config.resolve_trace()
     plan = plan_batch_sizes(app.spec, config.registry, app.slo)
@@ -237,6 +242,7 @@ def build_cluster(
         workers=workers,
         registry=config.registry,
         batch_plan=plan,
+        metrics=MetricsCollector(lean=True) if lean else None,
         rng=RngStreams(seed=config.seed),
         sync_interval=config.sync_interval,
         stats_window=config.stats_window,
@@ -249,6 +255,7 @@ def run_experiment(
     failures: Sequence[FailureEvent] = (),
     scaling: ScalingSpec | None = None,
     trace: Trace | None = None,
+    lean: bool = False,
 ) -> ExperimentResult:
     """Replay the configured trace through a freshly provisioned cluster.
 
@@ -258,13 +265,16 @@ def run_experiment(
     use, since plain data pickles and closures do not.  ``failures`` are
     armed before replay; ``scaling`` overrides the bare ``config.scaling``
     bool with a full :class:`ScalingSpec`; ``trace`` substitutes a
-    pre-built trace (the scenario path's composed workload).
+    pre-built trace (the scenario path's composed workload).  ``lean``
+    keeps summary counters only (identical :class:`Summary`, no
+    per-request records) — for sweeps and benchmarks that never read
+    them.
     """
     if isinstance(policy, (str, PolicySpec)):
         policy = make_policy(policy, config.seed)
     if trace is None:
         trace = config.resolve_trace()
-    cluster = build_cluster(config, policy, trace)
+    cluster = build_cluster(config, policy, trace, lean=lean)
     if scaling is None:
         scaling = ScalingSpec(enabled=config.scaling)
     if scaling.enabled:
@@ -325,7 +335,7 @@ def scenario_config(scenario: Scenario) -> ExperimentConfig:
     )
 
 
-def run_scenario(scenario: Scenario) -> ExperimentResult:
+def run_scenario(scenario: Scenario, lean: bool = False) -> ExperimentResult:
     """Run one declarative scenario end to end.
 
     Calibration (``utilization``) measures the named base trace *with its
@@ -333,6 +343,7 @@ def run_scenario(scenario: Scenario) -> ExperimentResult:
     overlays and thinning then compose on top — matching the paper's
     framing, where the cluster is provisioned for the expected workload
     and the burst is the unpredictable event that exceeds it.
+    ``lean`` collects summary counters only (no per-request records).
     """
     scenario.validate()
     config = scenario_config(scenario)
@@ -353,6 +364,7 @@ def run_scenario(scenario: Scenario) -> ExperimentResult:
         failures=scenario.failures,
         scaling=scenario.scaling,
         trace=trace,
+        lean=lean,
     )
 
 
@@ -426,13 +438,14 @@ def _provision_pools(
     return out
 
 
-def run_multi_scenario(multi: MultiScenario) -> MultiResult:
+def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
     """Run one declarative shared-cluster scenario end to end.
 
     Each tenant's workload, policy and seed resolve exactly as in
     :func:`run_scenario`; the cluster layer is shared — pools assigned by
     model profile, one reactive scaler and failure schedule over the pools,
-    per-app metrics collected on the tenant views.
+    per-app metrics collected on the tenant views.  ``lean`` keeps
+    per-tenant summary counters only (no per-request records).
     """
     multi.validate()
     registry = multi.build_registry()
@@ -454,6 +467,7 @@ def run_multi_scenario(multi: MultiScenario) -> MultiResult:
                 name=label,
                 app=app,
                 policy=make_policy(s.policy, seed),
+                metrics=MetricsCollector(lean=lean),
                 batch_plan=plan_batch_sizes(app.spec, registry, app.slo),
             )
         )

@@ -93,6 +93,11 @@ class SweepCell:
     policy: str = ""
     scenario: Scenario | None = None
     multi: MultiScenario | None = None
+    #: Collect summary counters only (no per-request records).  The
+    #: Summary is identical either way; lean results simply cannot serve
+    #: record-level analyses, so lean cells cache under their own
+    #: fingerprints.
+    lean: bool = False
 
     def __post_init__(self) -> None:
         forms = sum(
@@ -252,6 +257,11 @@ def cell_fingerprint(cell: SweepCell) -> str | None:
 
     payload: dict = {"schema": _CACHE_SCHEMA, "version": __version__,
                      "source": _source_digest(), "policy": cell.policy}
+    if cell.lean:
+        # Lean results hold no records; keep them apart from full results
+        # so a record-consuming sweep never gets a lean cache hit.  Only
+        # set when lean so pre-existing full-cell fingerprints survive.
+        payload["lean"] = True
     if cell.multi is not None:
         for tenant in cell.multi.tenants:
             s = tenant.scenario
@@ -416,7 +426,7 @@ def execute_cell(cell: SweepCell) -> CellResult:
     t0 = time.perf_counter()
     try:
         if cell.multi is not None:
-            multi = run_multi_scenario(cell.multi)
+            multi = run_multi_scenario(cell.multi, lean=cell.lean)
             from ..metrics.analysis import merge_collectors
 
             return CellResult(
@@ -429,9 +439,9 @@ def execute_cell(cell: SweepCell) -> CellResult:
                 per_app=dict(multi.summaries),
             )
         if cell.scenario is not None:
-            result = run_scenario(cell.scenario)
+            result = run_scenario(cell.scenario, lean=cell.lean)
         else:
-            result = run_experiment(cell.config, cell.policy)
+            result = run_experiment(cell.config, cell.policy, lean=cell.lean)
         return CellResult(
             cell=cell,
             policy_name=result.policy_name,
@@ -497,6 +507,14 @@ def run_sweep(
     for i, cell in enumerate(cells):
         fingerprints[i] = cell_fingerprint(cell) if cache else None
         hit = cache.load(fingerprints[i]) if cache and fingerprints[i] else None
+        if hit is None and cache is not None and cell.lean:
+            # A cached *full* result satisfies a lean request (its summary
+            # is identical and it merely carries extra records); only the
+            # reverse direction must miss.
+            from dataclasses import replace
+
+            full_fp = cell_fingerprint(replace(cell, lean=False))
+            hit = cache.load(full_fp) if full_fp else None
         if hit is not None:
             results[i] = hit
             _emit(on_event, SweepEvent("cached", i, total, cell))
@@ -569,6 +587,32 @@ def summaries_payload(results: Sequence[CellResult]) -> list[dict]:
             entry["error"] = (r.error or "").strip().splitlines()[-1:] or ["?"]
         out.append(entry)
     return out
+
+
+def summaries_text(results: Sequence[CellResult]) -> str:
+    """The canonical on-disk serialization of :func:`summaries_payload`.
+
+    Single-sourced so ``--save-summaries`` files, the committed golden
+    fingerprints and ``repro bench``'s determinism check can never drift
+    apart on formatting.
+    """
+    return json.dumps(summaries_payload(results), indent=2, sort_keys=True) + "\n"
+
+
+def load_scenario_cells(path: str | os.PathLike) -> list[SweepCell]:
+    """Cells for every scenario a file declares (validated, in order).
+
+    Auto-detects the schema like ``repro scenario run/sweep --file``: a
+    single :class:`Scenario`, a :class:`MultiScenario` or a
+    :class:`SweepSpec` whose axes are expanded here.
+    """
+    from .scenario import SweepSpec, load_scenario_file
+
+    spec = load_scenario_file(path)
+    bases = spec.expand() if isinstance(spec, SweepSpec) else [spec]
+    for base in bases:
+        base.validate()
+    return scenario_cells(bases)
 
 
 def summary_table(results: Sequence[CellResult], markdown: bool = False) -> str:

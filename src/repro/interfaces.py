@@ -26,9 +26,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .simulation.worker import Worker
 
 
-@dataclass
+@dataclass(slots=True)
 class DropContext:
-    """Everything a policy may inspect when deciding to drop at ``t_b``."""
+    """Everything a policy may inspect when deciding to drop at ``t_b``.
+
+    Slotted and *reused*: each worker keeps one instance and rewrites its
+    fields per drawn request (the batching hot path).  Policies must read
+    it synchronously inside ``should_drop`` — never retain the object.
+    """
 
     request: Request
     module: "Module"

@@ -42,8 +42,42 @@ class Summary:
 
 
 def summarize(collector: MetricsCollector, duration: float | None = None) -> Summary:
-    """Aggregate a run's records into a :class:`Summary`."""
+    """Aggregate a run's streaming counters into a :class:`Summary`.
+
+    O(1): the collector maintains every summary input incrementally as
+    requests reach terminal states, so summarising no longer re-scans the
+    record list (and works for ``lean`` collectors that keep no records).
+    A collector whose ``records`` were populated by hand — bypassing
+    :meth:`~MetricsCollector.record_request` — falls back to a full scan.
+    """
     records = collector.records
+    if len(records) > collector.count:
+        return _summarize_records(records, duration)
+    total = collector.count
+    if total == 0:
+        return Summary(0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+    good = collector.good_count
+    total_gpu = collector.gpu_time_total
+    if duration is None:
+        duration = max(collector.last_sent - collector.first_sent, 1e-9)
+    return Summary(
+        total=total,
+        completed=collector.completed_count,
+        good=good,
+        dropped=collector.dropped_count,
+        drop_rate=collector.dropped_count / total,
+        invalid_rate=(
+            collector.wasted_gpu_total / total_gpu if total_gpu > 0 else 0.0
+        ),
+        goodput=good / duration,
+        mean_goodput_normalized=good / total,
+    )
+
+
+def _summarize_records(
+    records: Sequence[RequestRecord], duration: float | None
+) -> Summary:
+    """Record-scan summary for collectors built without streaming counters."""
     total = len(records)
     if total == 0:
         return Summary(0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0)
@@ -86,7 +120,40 @@ def merge_collectors(
     for collector in parts:
         merged.records.extend(collector.records)
         merged.submitted += collector.submitted
+        if not collector.lean and len(collector.records) == collector.count:
+            # Fold record by record: the aggregate's float totals then
+            # accumulate in exactly the concatenation order a full scan
+            # would use, keeping merged summaries bit-identical to one.
+            for r in collector.records:
+                _fold_record(merged, r)
+        else:
+            # Lean collectors have no records; fold their subtotals.
+            merged.count += collector.count
+            merged.completed_count += collector.completed_count
+            merged.good_count += collector.good_count
+            merged.dropped_count += collector.dropped_count
+            merged.gpu_time_total += collector.gpu_time_total
+            merged.wasted_gpu_total += collector.wasted_gpu_total
+            merged.first_sent = min(merged.first_sent, collector.first_sent)
+            merged.last_sent = max(merged.last_sent, collector.last_sent)
     return merged
+
+
+def _fold_record(collector: MetricsCollector, r: RequestRecord) -> None:
+    """Update a collector's streaming counters with one existing record."""
+    collector.count += 1
+    if r.status is RequestStatus.COMPLETED:
+        collector.completed_count += 1
+    if r.met_slo:
+        collector.good_count += 1
+    if r.counts_as_dropped:
+        collector.dropped_count += 1
+        collector.wasted_gpu_total += r.gpu_time
+    collector.gpu_time_total += r.gpu_time
+    if r.sent_at < collector.first_sent:
+        collector.first_sent = r.sent_at
+    if r.sent_at > collector.last_sent:
+        collector.last_sent = r.sent_at
 
 
 def per_app_summaries(

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from ..simulation.request import DropReason, Request, RequestStatus
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VisitRecord:
     """Latency decomposition of one executed module visit."""
 
@@ -24,7 +24,7 @@ class VisitRecord:
     batch_size: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """Immutable outcome of one request (terminal state)."""
 
@@ -73,29 +73,72 @@ def _visit_records(request: Request) -> tuple[VisitRecord, ...]:
 
 
 class MetricsCollector:
-    """Accumulates request outcomes during a simulation run."""
+    """Accumulates request outcomes during a simulation run.
 
-    def __init__(self) -> None:
+    Alongside the per-request :class:`RequestRecord` list, the collector
+    maintains *streaming* counters (counts, GPU-time totals, send-time
+    span) updated once per terminal request, so run-level summaries are
+    O(1) instead of a full pass over the records.
+
+    ``lean=True`` keeps only the streaming counters: no ``RequestRecord``
+    or :class:`VisitRecord` objects are materialised at all.  Sweep cells
+    and benchmarks that only consume a
+    :class:`~repro.metrics.analysis.Summary` use this to skip the
+    dominant per-request allocation cost; per-window series, per-module
+    drop shares and latency CDFs need full records and are unavailable.
+    """
+
+    def __init__(self, lean: bool = False) -> None:
         self.records: list[RequestRecord] = []
+        self.lean = lean
         self.submitted = 0
+        # Streaming counters (single source of truth for summaries).
+        self.count = 0
+        self.completed_count = 0
+        self.good_count = 0
+        self.dropped_count = 0  # includes SLO-violating completions
+        self.gpu_time_total = 0.0
+        self.wasted_gpu_total = 0.0
+        self.first_sent = float("inf")
+        self.last_sent = float("-inf")
 
     def record_submitted(self) -> None:
         self.submitted += 1
 
     def record_request(self, request: Request) -> None:
         """Snapshot a request that has reached a terminal state."""
-        if request.status is RequestStatus.IN_FLIGHT:
+        status = request.status
+        if status is RequestStatus.IN_FLIGHT:
             raise ValueError(f"request {request.rid} is still in flight")
         assert request.finished_at is not None
+        met_slo = request.met_slo
+        gpu_time = request.gpu_time
+        counts_as_dropped = status is RequestStatus.DROPPED or not met_slo
+        self.count += 1
+        if status is RequestStatus.COMPLETED:
+            self.completed_count += 1
+        if met_slo:
+            self.good_count += 1
+        if counts_as_dropped:
+            self.dropped_count += 1
+            self.wasted_gpu_total += gpu_time
+        self.gpu_time_total += gpu_time
+        sent_at = request.sent_at
+        if sent_at < self.first_sent:
+            self.first_sent = sent_at
+        if sent_at > self.last_sent:
+            self.last_sent = sent_at
+        if self.lean:
+            return
         self.records.append(
             RequestRecord(
                 rid=request.rid,
-                sent_at=request.sent_at,
+                sent_at=sent_at,
                 finished_at=request.finished_at,
-                status=request.status,
-                met_slo=request.met_slo,
+                status=status,
+                met_slo=met_slo,
                 slo=request.slo,
-                gpu_time=request.gpu_time,
+                gpu_time=gpu_time,
                 dropped_at_module=request.dropped_at_module,
                 drop_reason=request.drop_reason,
                 visits=_visit_records(request),
@@ -105,7 +148,7 @@ class MetricsCollector:
     # -- convenience views ---------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self.count if self.lean else len(self.records)
 
     @property
     def completed(self) -> list[RequestRecord]:

@@ -61,12 +61,54 @@ class PipelineSpec:
         if self.modules and not nx.is_weakly_connected(self._graph):
             raise ValueError(f"pipeline {self.name!r} is not connected")
         self._paths_cache: dict[str, list[list[str]]] = {}
+        self._freeze_structure()
+
+    def _freeze_structure(self) -> None:
+        """Precompute the DAG views consumed on the per-request hot path.
+
+        The spec is immutable after validation, so topological order,
+        declaration indices, per-module descendant sets and the fork ->
+        join contribution table are all computed exactly once here instead
+        of re-deriving them (via ``nx.descendants`` + a full sort) on
+        every fork passage or budget lookup.
+        """
+        self._ids: tuple[str, ...] = tuple(m.id for m in self.modules)
+        self._index: dict[str, int] = {mid: i for i, mid in enumerate(self._ids)}
+        self._topo: tuple[str, ...] = tuple(
+            nx.lexicographical_topological_sort(self._graph)
+        )
+        topo_index = {mid: i for i, mid in enumerate(self._topo)}
+        self._chain: bool = all(
+            len(m.pres) <= 1 and len(m.subs) <= 1 for m in self.modules
+        )
+        # Descendant sets by reverse-topological accumulation: one union
+        # per edge instead of one graph traversal per query.
+        desc: dict[str, frozenset[str]] = {}
+        for mid in reversed(self._topo):
+            reach: set[str] = set()
+            for s in self._by_id[mid].subs:
+                reach.add(s)
+                reach.update(desc[s])
+            desc[mid] = frozenset(reach)
+        self._desc = desc
+        self._downstream: dict[str, tuple[str, ...]] = {
+            mid: tuple(sorted(reach, key=topo_index.__getitem__))
+            for mid, reach in desc.items()
+        }
+        # Fork bookkeeping: for every module, the join modules (in-degree
+        # > 1) it is or can reach.  RequestFlow._record_branch_choice sums
+        # these per chosen branch instead of scanning all module ids.
+        joins = tuple(m.id for m in self.modules if len(m.pres) > 1)
+        self._joins_reached: dict[str, tuple[str, ...]] = {
+            mid: tuple(j for j in joins if j == mid or j in desc[mid])
+            for mid in self._ids
+        }
 
     # -- structure ---------------------------------------------------------
 
     @property
     def module_ids(self) -> list[str]:
-        return [m.id for m in self.modules]
+        return list(self._ids)
 
     @property
     def entry_ids(self) -> list[str]:
@@ -81,7 +123,7 @@ class PipelineSpec:
     @property
     def is_chain(self) -> bool:
         """True when the DAG is a simple linear chain."""
-        return all(len(m.pres) <= 1 and len(m.subs) <= 1 for m in self.modules)
+        return self._chain
 
     def __len__(self) -> int:
         return len(self.modules)
@@ -100,11 +142,14 @@ class PipelineSpec:
 
     def index_of(self, module_id: str) -> int:
         """Position of the module in declaration order (0-based)."""
-        return self.module_ids.index(module_id)
+        try:
+            return self._index[module_id]
+        except KeyError:
+            raise ValueError(f"{module_id!r} is not in pipeline {self.name!r}") from None
 
     def topological_order(self) -> list[str]:
-        """Module ids in a deterministic topological order."""
-        return list(nx.lexicographical_topological_sort(self._graph))
+        """Module ids in a deterministic topological order (precomputed)."""
+        return list(self._topo)
 
     def paths_from(self, module_id: str) -> list[list[str]]:
         """All DAG paths from ``module_id`` (exclusive) to any exit module.
@@ -129,8 +174,19 @@ class PipelineSpec:
 
     def downstream(self, module_id: str) -> list[str]:
         """All modules reachable from ``module_id`` (topological order)."""
-        reach = nx.descendants(self._graph, module_id)
-        return [m for m in self.topological_order() if m in reach]
+        return list(self._downstream[module_id])
+
+    def downstream_set(self, module_id: str) -> frozenset[str]:
+        """Reachable modules as a set (O(1) membership on request paths)."""
+        return self._desc[module_id]
+
+    def joins_reached(self, module_id: str) -> tuple[str, ...]:
+        """Join modules (in-degree > 1) at or downstream of ``module_id``.
+
+        Precomputed at construction; this is the table fork passages
+        consult when adjusting join requirements per chosen branch.
+        """
+        return self._joins_reached[module_id]
 
     # -- serialisation -----------------------------------------------------
 

@@ -50,6 +50,13 @@ class RequestFlow:
         # Observed branch choices at forks: (module, successor) -> count.
         # Feeds the request-path prediction extension (§5.2 future work).
         self.branch_counts: dict[tuple[str, str], int] = defaultdict(int)
+        # Per-hop DAG neighbourhood, flattened out of the spec: consulted
+        # once per module completion / delivery on the request hot path.
+        spec = self.spec
+        self._successors = {mid: spec.successors(mid) for mid in spec.module_ids}
+        self._pred_count = {
+            mid: len(spec.predecessors(mid)) for mid in spec.module_ids
+        }
 
     # -- hop translation ---------------------------------------------------
 
@@ -88,7 +95,7 @@ class RequestFlow:
             # executing; the GPU time is already attributed and will count
             # as invalid.  Do not forward further.
             return
-        subs = self.spec.successors(self.hop_id(module))
+        subs = self._successors[self.hop_id(module)]
         if not subs:
             request.mark_completed(self.sim.now)
             self._forget(request)
@@ -116,32 +123,36 @@ class RequestFlow:
         only its own token's contribution, so the final requirement is the
         total number of branch deliveries actually en route.  The static
         router reproduces the default in-degree requirement.
+
+        The per-branch join contributions come from the spec's precomputed
+        ``joins_reached`` table — the old per-request scan over every
+        module id (with an ``nx.descendants`` traversal each) sat directly
+        on the fork hot path.
         """
         spec = self.spec
+        counts: dict[str, int] = {}
+        for s in chosen:
+            for mid in spec.joins_reached(s):
+                counts[mid] = counts.get(mid, 0) + 1
+        if not counts:
+            return
         needed = self._join_needed[request.rid]
-        for mid in spec.module_ids:
-            if len(spec.predecessors(mid)) <= 1:
-                continue
-            cnt = sum(
-                1
-                for s in chosen
-                if s == mid or mid in spec.downstream(s)
-            )
-            if cnt > 0:
-                # The token passing this fork counted as one pending
-                # delivery toward ``mid``; it now fans out into ``cnt``.
-                needed[mid] = needed.get(mid, 1) - 1 + cnt
+        for mid, cnt in counts.items():
+            # The token passing this fork counted as one pending delivery
+            # toward ``mid``; it now fans out into ``cnt``.
+            needed[mid] = needed.get(mid, 1) - 1 + cnt
 
     def _deliver(self, request: Request, module_id: str) -> None:
         """Deliver to a successor, honouring join semantics at merges."""
-        preds = self.spec.predecessors(module_id)
-        if len(preds) > 1:
+        n_preds = self._pred_count[module_id]
+        if n_preds > 1:
             counts = self._join_counts[request.rid]
-            counts[module_id] = counts.get(module_id, 0) + 1
+            arrived = counts.get(module_id, 0) + 1
+            counts[module_id] = arrived
             needed = self._join_needed.get(request.rid, {}).get(
-                module_id, len(preds)
+                module_id, n_preds
             )
-            if counts[module_id] < needed:
+            if arrived < needed:
                 return  # wait for the remaining branches
             del counts[module_id]
         if self.hop_delay > 0:
@@ -212,7 +223,9 @@ class Cluster(RequestFlow):
         self.slo = app.slo
         self.policy = policy
         self.registry = registry or DEFAULT_PROFILES
-        self.metrics = metrics or MetricsCollector()
+        # `metrics or ...` would discard a supplied *empty* collector
+        # (len() == 0 makes it falsy) — compare against None explicitly.
+        self.metrics = metrics if metrics is not None else MetricsCollector()
         self.rng = rng or RngStreams(seed=0)
         self.sync_interval = sync_interval
         self.router = router or StaticRouter()

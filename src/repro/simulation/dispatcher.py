@@ -26,7 +26,19 @@ class LeastLoadedDispatcher(Dispatcher):
     def pick(self, workers: list["Worker"]) -> "Worker":
         if not workers:
             raise ValueError("no workers available to dispatch to")
-        return min(workers, key=lambda w: (w.load, w.worker_id))
+        # Manual scan: equivalent to min(key=(load, worker_id)) without
+        # allocating a key tuple per worker on the dispatch hot path.
+        best = workers[0]
+        best_load = best.load
+        for i in range(1, len(workers)):
+            w = workers[i]
+            load = w.load
+            if load < best_load or (
+                load == best_load and w.worker_id < best.worker_id
+            ):
+                best = w
+                best_load = load
+        return best
 
 
 class RoundRobinDispatcher(Dispatcher):

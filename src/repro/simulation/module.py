@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..interfaces import DropPolicy
 from ..pipeline.profiles import ModelProfile
 from ..pipeline.spec import ModuleSpec
 from .dispatcher import Dispatcher, LeastLoadedDispatcher
@@ -46,8 +47,21 @@ class Module:
         self.dispatcher = dispatcher or LeastLoadedDispatcher()
         self.stats = ModuleStats(window=stats_window)
         self._next_worker_id = 0
-        self._effective_cache: tuple[float, int] = (-1.0, 0)
+        self._effective_cache: tuple[float, int, float] = (-1.0, 0, 0.0)
         self._parked: list[Request] = []  # arrivals during a total outage
+        # False only when no worker can be draining, letting receive()
+        # skip the per-request candidate scan (the common case: draining
+        # only ever starts in drain_worker).  Recomputed lazily once a
+        # drain has been requested.
+        self._maybe_draining = False
+        # Admission hook, resolved once: most policies inherit the base
+        # no-op on_admit, in which case receive() skips the call outright.
+        policy = cluster.policy
+        self._admit_hook = (
+            policy.on_admit
+            if type(policy).on_admit is not DropPolicy.on_admit
+            else None
+        )
         self.workers: list[Worker] = []
         for _ in range(n_workers):
             self._add_worker()
@@ -109,7 +123,7 @@ class Module:
         if len(active) <= 1:
             return False
         victim = min(active, key=lambda w: (w.load, w.worker_id))
-        victim.draining = True
+        victim.draining = True  # the setter flags self._maybe_draining
         return True
 
     def reap(self, worker: Worker) -> None:
@@ -133,19 +147,26 @@ class Module:
         synchronises: under light load actual batches run smaller than the
         planned maximum, and estimating d_k at the planned size would
         overstate both the current and downstream execution durations.
-        Cached for 0.5 s — the paper refreshes it on sync ticks.
+        Cached for 0.5 s — the paper refreshes it on sync ticks.  The
+        profiled duration at that size is cached alongside it (it is a
+        pure function of the batch size, and the pair is consulted once
+        per drawn request).
         """
-        cached_at, cached = self._effective_cache
+        cached_at, cached, _ = self._effective_cache
         if now - cached_at < 0.5 and cached > 0:
             return cached
         avg = self.stats.avg_batch_size(now, default=float(self.target_batch))
         value = max(1, min(self.target_batch, round(avg)))
-        self._effective_cache = (now, value)
+        self._effective_cache = (now, value, self.profile.duration(value))
         return value
 
     def effective_duration(self, now: float) -> float:
         """d_k at the recently observed batch size."""
-        return self.profile.duration(self.effective_batch(now))
+        cached_at, cached, duration = self._effective_cache
+        if now - cached_at < 0.5 and cached > 0:
+            return duration
+        self.effective_batch(now)
+        return self._effective_cache[2]
 
     def throughput(self) -> float:
         """T_m: module throughput at the planned batch size (req/s)."""
@@ -170,17 +191,29 @@ class Module:
             return  # dropped in transit (DAG sibling with network delay)
         now = self.sim.now
         request.begin_visit(self.spec.id, now)
-        self.stats.record_arrival(now)
-        reason = self.policy.on_admit(request, self, now)
-        if reason is not None:
-            self.stats.record_drop()
-            self.cluster.drop(request, self.spec.id, reason)
-            return
-        candidates = [w for w in self.workers if not w.draining]
-        if not candidates:
-            if not self.workers:
+        self.stats.arrivals.record(now)
+        if self._admit_hook is not None:
+            reason = self._admit_hook(request, self, now)
+            if reason is not None:
+                self.stats.record_drop()
+                self.cluster.drop(request, self.spec.id, reason)
+                return
+        workers = self.workers
+        if not self._maybe_draining:
+            # Fast path: no drain has been requested, every worker is a
+            # candidate — skip the per-request filtering allocation.
+            if not workers:
                 self.park(request)  # total outage: wait for recovery
                 return
-            candidates = self.workers  # everything draining: least harm
+            self.dispatcher.pick(workers).enqueue(request)
+            return
+        candidates = [w for w in workers if not w.draining]
+        if len(candidates) == len(workers):
+            self._maybe_draining = False  # every drainer has been reaped
+        if not candidates:
+            if not workers:
+                self.park(request)  # total outage: wait for recovery
+                return
+            candidates = workers  # everything draining: least harm
         worker = self.dispatcher.pick(candidates)
         worker.enqueue(request)

@@ -37,7 +37,7 @@ class DropReason(enum.Enum):
     SIBLING_DROPPED = "sibling_dropped"  # DAG: another branch was dropped
 
 
-@dataclass
+@dataclass(slots=True)
 class ModuleVisit:
     """Timestamps and accounting for one request at one module."""
 
@@ -72,12 +72,14 @@ class ModuleVisit:
         return self.t_exec_end - self.t_exec_start
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One client request flowing through the pipeline.
 
     For DAG pipelines a single :class:`Request` object is shared by all
     branches; the cluster tracks outstanding branch counts and join buffers.
+    Slotted: requests are the highest-churn objects in the simulator and
+    their fields are read on every queue/batch/drop decision.
     """
 
     sent_at: float

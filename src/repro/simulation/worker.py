@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .module import Module
 
 
-@dataclass
+@dataclass(slots=True)
 class Batch:
     """A batch executing on the GPU."""
 
@@ -35,7 +35,7 @@ class Batch:
         return len(self.requests)
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkerTelemetry:
     """Counters exposed for tests and overhead analysis."""
 
@@ -49,6 +49,11 @@ class WorkerTelemetry:
 class Worker:
     """One GPU container executing batches for a single module."""
 
+    __slots__ = (
+        "module", "worker_id", "sim", "queue", "forming", "executing",
+        "_draining", "telemetry", "_ctx",
+    )
+
     def __init__(self, module: "Module", worker_id: int) -> None:
         self.module = module
         self.worker_id = worker_id
@@ -56,16 +61,44 @@ class Worker:
         self.queue = module.policy.make_queue(module)
         self.forming: list[Request] = []
         self.executing: Batch | None = None
-        self.draining = False
+        self._draining = False
         self.telemetry = WorkerTelemetry()
+        # Reusable drop context: rewritten per drawn request in _draw so
+        # the hot loop does not allocate one per decision (policies read
+        # it synchronously; see the DropContext docstring).
+        self._ctx = DropContext(
+            request=None,  # type: ignore[arg-type] - set before every use
+            module=module,
+            worker=self,
+            now=0.0,
+            expected_start=0.0,
+            batch_duration=0.0,
+            slo=0.0,
+        )
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @draining.setter
+    def draining(self, value: bool) -> None:
+        # Route through the module's draining flag so its dispatch fast
+        # path (no candidate filtering while nothing drains) stays valid
+        # no matter who marks the worker.
+        self._draining = value
+        if value:
+            self.module._maybe_draining = True
 
     # -- introspection ------------------------------------------------------
 
     @property
     def load(self) -> int:
         """Outstanding work (used by the least-loaded dispatcher)."""
-        exec_count = self.executing.size if self.executing else 0
-        return len(self.queue) + len(self.forming) + exec_count
+        executing = self.executing
+        n = len(self.queue) + len(self.forming)
+        if executing is None:
+            return n
+        return n + len(executing.requests)
 
     @property
     def idle(self) -> bool:
@@ -97,42 +130,50 @@ class Worker:
         now = self.sim.now
         module = self.module
         target = module.target_batch
-        while len(self.forming) < target:
-            request = self.queue.pop(now)
+        # Hot loop: every request drawn toward a batch passes through here
+        # once, so the per-iteration lookups are bound outside the loop.
+        queue_pop = self.queue.pop
+        forming = self.forming
+        should_drop = module.policy.should_drop
+        stats = module.stats
+        record_queue_delay = stats.queue_delays.record
+        record_batch_wait = stats.batch_waits.record
+        module_id = module.spec.id
+        in_flight = RequestStatus.IN_FLIGHT
+        ctx = self._ctx
+        ctx.now = now
+        while len(forming) < target:
+            request = queue_pop(now)
             if request is None:
                 break
-            if request.status is not RequestStatus.IN_FLIGHT:
+            if request.status is not in_flight:
                 # A sibling DAG branch already dropped this request; skip it
                 # without spending GPU time (its earlier work is already
                 # accounted as invalid).
                 self.telemetry.skipped_cancelled += 1
                 continue
-            t_e = self.expected_start
-            ctx = DropContext(
-                request=request,
-                module=module,
-                worker=self,
-                now=now,
-                expected_start=t_e,
-                batch_duration=module.effective_duration(now),
-                # The request's own objective, not the cluster's: in a
-                # shared (multi-tenant) cluster requests from different
-                # apps carry different SLOs through the same pool.
-                slo=request.slo,
-            )
-            reason = module.policy.should_drop(ctx)
-            visit = request.visit(module.spec.id)
+            executing = self.executing
+            t_e = executing.end if executing is not None else now
+            ctx.request = request
+            ctx.expected_start = t_e
+            ctx.batch_duration = module.effective_duration(now)
+            # The request's own objective, not the cluster's: in a shared
+            # (multi-tenant) cluster requests from different apps carry
+            # different SLOs through the same pool.
+            ctx.slo = request.slo
+            reason = should_drop(ctx)
+            visit = request.visits[module_id]
             visit.t_batched = now
             visit.worker_id = self.worker_id
-            module.stats.record_queue_delay(now, now - visit.t_received)
+            record_queue_delay(now, now - visit.t_received)
             if reason is not None:
                 self.telemetry.dropped_requests += 1
-                module.stats.record_drop()
-                module.cluster.drop(request, module.spec.id, reason)
+                stats.record_drop()
+                module.cluster.drop(request, module_id, reason)
                 continue
-            module.stats.record_batch_wait(now, max(0.0, t_e - now))
-            self.forming.append(request)
-        if self.executing is None and self.forming:
+            record_batch_wait(now, t_e - now if t_e > now else 0.0)
+            forming.append(request)
+        if self.executing is None and forming:
             self._start_batch()
 
     def _start_batch(self) -> None:
@@ -143,13 +184,15 @@ class Worker:
         size = len(requests)
         duration = self.module.profile.duration(size)
         share = duration / size
+        module_id = self.module.spec.id
+        end = now + duration
         for r in requests:
-            v = r.visit(self.module.spec.id)
+            v = r.visits[module_id]
             v.t_exec_start = now
-            v.t_exec_end = now + duration
+            v.t_exec_end = end
             v.batch_size = size
             v.gpu_time = share
-        batch = Batch(requests=requests, start=now, end=now + duration)
+        batch = Batch(requests=requests, start=now, end=end)
         self.executing = batch
         self.telemetry.batches += 1
         self.telemetry.executed_requests += size

@@ -78,6 +78,19 @@ class TestBrokerEstimate:
         with pytest.raises(ValueError):
             RequestBroker(StatePlanner(), sub_mode="nope")
 
+    @pytest.mark.parametrize(
+        "sub_mode", [SubMode.FULL, SubMode.NONE, SubMode.DURATIONS]
+    )
+    def test_estimate_total_matches_decomposed_estimate(self, sub_mode):
+        # estimate_total is the allocation-free drop-path twin of
+        # estimate(); this pin keeps the two formulas from diverging.
+        policy, cluster = self.bound(sub_mode=sub_mode,
+                                     wait_mode=WaitMode.QUANTILE)
+        ctx = make_ctx(cluster, sent_at=0.0, expected_start=0.07)
+        assert policy.broker.estimate_total(ctx) == pytest.approx(
+            policy.broker.estimate(ctx).total, rel=1e-12
+        )
+
 
 class TestPardDropDecision:
     def test_keeps_request_with_ample_budget(self):

@@ -1,0 +1,103 @@
+"""Unit tests for the ``repro bench`` harness (cheap paths only).
+
+The full macro benchmark runs in CI via ``repro bench --quick``; here we
+exercise the harness machinery — timing bookkeeping, report shape and
+serialization, workload declarations — with stub workloads, plus one real
+(small) multi-tenant workload as an end-to-end smoke.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchResult,
+    BenchWorkload,
+    WorkloadResult,
+    bench_workloads,
+    format_table,
+    run_workload,
+    write_report,
+)
+
+
+def _stub(events: int = 100, requests: int = 10) -> BenchWorkload:
+    calls = []
+
+    def run():
+        calls.append(1)
+        return events, requests
+
+    return BenchWorkload("stub", "single", run)
+
+
+class TestRunWorkload:
+    def test_best_of_repeats(self):
+        result = run_workload(_stub(), repeats=3)
+        assert result.runs == 3
+        assert result.events == 100
+        assert result.requests == 10
+        assert result.wall_s >= 0.0
+        assert result.events_per_sec > 0
+
+    def test_repeats_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_workload(_stub(), repeats=0)
+
+
+class TestReport:
+    def make(self) -> BenchResult:
+        result = BenchResult(schema=BENCH_SCHEMA, quick=True, repeats=1,
+                             python="3.x")
+        result.workloads.append(WorkloadResult(
+            name="w", kind="single", cells=1, runs=1, wall_s=0.5,
+            events=1000, requests=100, events_per_sec=2000.0,
+        ))
+        result.macro_wall_s = 0.5
+        result.determinism = {"burst_failure": "ok"}
+        return result
+
+    def test_write_report_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        write_report(self.make(), path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["workloads"][0]["name"] == "w"
+        assert "baseline_macro_wall_s" not in data  # no baseline folded
+
+    def test_speedup_in_report_when_baseline_set(self, tmp_path):
+        result = self.make()
+        result.baseline_macro_wall_s = 1.0
+        result.speedup = 2.0
+        path = tmp_path / "BENCH.json"
+        write_report(result, path)
+        data = json.loads(path.read_text())
+        assert data["speedup"] == 2.0
+
+    def test_deterministic_flag(self):
+        result = self.make()
+        assert result.deterministic
+        result.determinism["lam_sweep"] = "mismatch"
+        assert not result.deterministic
+
+    def test_format_table_mentions_everything(self):
+        text = format_table(self.make())
+        assert "w" in text and "macro" in text and "burst_failure=ok" in text
+
+
+class TestWorkloadDeclarations:
+    def test_three_canonical_kinds(self):
+        workloads = bench_workloads(quick=True)
+        assert [w.kind for w in workloads] == ["single", "multi", "sweep"]
+        sweep = workloads[-1]
+        assert sweep.cells == 8  # four apps x two policies
+
+    def test_quick_multi_runs_end_to_end(self):
+        multi = bench_workloads(quick=True)[1]
+        events, requests = multi.run()
+        assert events > 0 and requests > 0
+        # Determinism of the workload itself.
+        assert multi.run() == (events, requests)

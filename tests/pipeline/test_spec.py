@@ -113,6 +113,71 @@ class TestDagPaths:
         assert order.index("m1") < order.index("m3") < order.index("m4")
 
 
+class TestFrozenStructure:
+    """The precomputed DAG views must agree with a networkx recomputation."""
+
+    def wide(self) -> PipelineSpec:
+        # Two sequential forks feeding one join plus a diamond: exercises
+        # nested reachability the per-edge accumulation must get right.
+        return PipelineSpec(
+            name="wide",
+            modules=[
+                ModuleSpec("s", "a", subs=("f1", "f2")),
+                ModuleSpec("f1", "b", pres=("s",), subs=("j",)),
+                ModuleSpec("f2", "c", pres=("s",), subs=("g1", "g2")),
+                ModuleSpec("g1", "d", pres=("f2",), subs=("j",)),
+                ModuleSpec("g2", "e", pres=("f2",), subs=("j",)),
+                ModuleSpec("j", "f", pres=("f1", "g1", "g2"), subs=("t",)),
+                ModuleSpec("t", "g", pres=("j",)),
+            ],
+        )
+
+    def test_downstream_matches_networkx(self):
+        import networkx as nx
+
+        spec = self.wide()
+        graph = nx.DiGraph()
+        graph.add_nodes_from(spec.module_ids)
+        for mid in spec.module_ids:
+            for s in spec.successors(mid):
+                graph.add_edge(mid, s)
+        topo = list(nx.lexicographical_topological_sort(graph))
+        for mid in spec.module_ids:
+            reach = nx.descendants(graph, mid)
+            assert spec.downstream(mid) == [m for m in topo if m in reach]
+            assert spec.downstream_set(mid) == frozenset(reach)
+
+    def test_downstream_returns_fresh_list(self):
+        spec = self.wide()
+        first = spec.downstream("s")
+        first.append("corrupted")
+        assert "corrupted" not in spec.downstream("s")
+
+    def test_topological_order_returns_fresh_list(self):
+        spec = self.wide()
+        order = spec.topological_order()
+        original = list(order)
+        order.clear()
+        assert spec.topological_order() == original
+
+    def test_joins_reached(self):
+        spec = self.wide()
+        # "j" is the only join; every upstream module reaches it, the
+        # terminal does not, and the join reaches itself by definition.
+        for mid in ("s", "f1", "f2", "g1", "g2", "j"):
+            assert spec.joins_reached(mid) == ("j",)
+        assert spec.joins_reached("t") == ()
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(ValueError):
+            self.wide().index_of("nope")
+
+    def test_chain_has_no_joins(self):
+        spec = chain("c", ["a", "b", "c"])
+        for mid in spec.module_ids:
+            assert spec.joins_reached(mid) == ()
+
+
 class TestJsonRoundTrip:
     def test_round_trip(self):
         spec = chain("rt", ["a", "b"])

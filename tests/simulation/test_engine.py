@@ -109,6 +109,72 @@ def test_step_returns_false_when_drained(sim):
     assert sim.step() is False
 
 
+def test_pending_events_excludes_cancelled(sim):
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    assert sim.pending_events == 4
+    handles[0].cancel()
+    handles[2].cancel()
+    assert sim.pending_events == 2
+    # Double-cancel must not double-count the tombstone.
+    handles[0].cancel()
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.processed_events == 2
+
+
+def test_cancel_after_fire_is_noop(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    handle.cancel()  # no-op: already fired
+    assert sim.pending_events == 0
+    sim.schedule(2.0, fired.append, "y")
+    sim.run()
+    assert fired == ["x", "y"]
+
+
+def test_mass_cancellation_compacts_heap(sim):
+    """Tombstones must not accumulate: cancelling most of a large queue
+    shrinks the underlying heap rather than leaving it for run() to walk."""
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+    for h in handles[:900]:
+        h.cancel()
+    assert sim.pending_events == 100
+    # Lazy compaction has dropped (most of) the tombstones already.
+    assert len(sim._heap) < 500
+    sim.run()
+    assert sim.processed_events == 100
+
+
+def test_firing_order_survives_compaction(sim):
+    fired = []
+    handles = []
+    for i in range(300):
+        handles.append(sim.schedule(float(i % 7), fired.append, i))
+    for i, h in enumerate(handles):
+        if i % 3 != 0:
+            h.cancel()
+    sim.run()
+    survivors = [i for i in range(300) if i % 3 == 0]
+    # Time-major, scheduling-order-minor: exactly the uncancelled events.
+    expected = sorted(survivors, key=lambda i: (i % 7, i))
+    assert fired == expected
+
+
+def test_run_until_with_cancelled_head(sim):
+    fired = []
+    head = sim.schedule(1.0, fired.append, "dead")
+    sim.schedule(2.0, fired.append, "live")
+    head.cancel()
+    sim.run(until=1.5)
+    assert fired == []
+    assert sim.now == 1.5
+    sim.run()
+    assert fired == ["live"]
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
 def test_property_events_execute_sorted(times):
     sim = Simulator()

@@ -81,6 +81,81 @@ class TestRateMeter:
         assert rm.total == 10
 
 
+def _reference_weighted_average(
+    samples: list[tuple[float, float]], window: float, now: float, default: float
+) -> float:
+    """The pre-optimization explicit loop, as the oracle."""
+    num = den = 0.0
+    for t, v in samples:
+        if t < now - window:
+            continue
+        wgt = 1.0 - (now - t) / window
+        if wgt <= 0.0:
+            continue
+        num += wgt * v
+        den += wgt
+    return num / den if den > 0 else default
+
+
+class TestIncrementalSums:
+    """The O(1) running-sum aggregates must match the explicit loop."""
+
+    def test_weighted_average_matches_reference_under_churn(self):
+        import random
+
+        rng = random.Random(7)
+        window = 5.0
+        ws = WindowedSamples(window=window)
+        log: list[tuple[float, float]] = []
+        t = 0.0
+        for i in range(5000):
+            t += rng.random() * 0.05
+            v = rng.uniform(-3.0, 10.0)
+            ws.record(t, v)
+            log.append((t, v))
+            if i % 7 == 0:
+                got = ws.weighted_average(t, default=-1.0)
+                want = _reference_weighted_average(log, window, t, -1.0)
+                assert got == pytest.approx(want, rel=1e-9, abs=1e-12)
+        # Long quiet gap: everything evicts, sums reset exactly.
+        t += 2 * window
+        assert ws.weighted_average(t, default=42.0) == 42.0
+        assert len(ws) == 0
+
+    def test_mean_matches_reference_after_eviction(self):
+        ws = WindowedSamples(window=2.0)
+        for i in range(100):
+            ws.record(i * 0.1, float(i))
+        now = 9.9
+        live = [(t, v) for t, v in ((i * 0.1, float(i)) for i in range(100))
+                if t >= now - 2.0]
+        assert ws.mean(now) == pytest.approx(
+            sum(v for _, v in live) / len(live), rel=1e-12
+        )
+
+    def test_rebuild_bounds_drift(self):
+        # Tiny values after huge ones: without periodic exact rebuilds the
+        # incremental sums would be dominated by cancellation error.
+        ws = WindowedSamples(window=1.0)
+        t = 0.0
+        for _ in range(200):
+            t += 0.01
+            ws.record(t, 1e12)
+        for _ in range(3000):
+            t += 0.01
+            ws.record(t, 1e-6)
+        got = ws.weighted_average(t)
+        assert got == pytest.approx(1e-6, rel=1e-6)
+
+    def test_rate_meter_cache_invalidated_by_record(self):
+        rm = RateMeter(window=10.0)
+        rm.record(1.0)
+        assert rm.rate(now=10.0) == pytest.approx(0.1)
+        assert rm.rate(now=10.0) == pytest.approx(0.1)  # cached path
+        rm.record(10.0)
+        assert rm.rate(now=10.0) == pytest.approx(0.2)  # cache dropped
+
+
 class TestModuleStats:
     def test_records_flow_through(self):
         ms = ModuleStats(window=5.0)
