@@ -31,7 +31,13 @@ from .workloads import BenchWorkload, bench_workloads
 BENCH_SCHEMA = 1
 
 #: Scenario files (under --scenarios) with committed golden summaries.
-GOLDEN_SCENARIOS = ("burst_failure", "fair_share", "lam_sweep", "shared_cluster")
+GOLDEN_SCENARIOS = (
+    "burst_failure",
+    "diamond_merge",
+    "fair_share",
+    "lam_sweep",
+    "shared_cluster",
+)
 
 
 @dataclass

@@ -86,11 +86,15 @@ class RequestBroker:
         return self.planner.sub_estimate(module_id)
 
     def _durations_only(self, module_id: str) -> float:
-        """Max over downstream paths of the profiled execution durations."""
+        """Max over downstream paths of the profiled execution durations.
+
+        Read off the spec's single reverse-topological reduction instead
+        of enumerating paths (exponential on dense DAGs).  Durations are
+        refreshed by the planner per tick, so the table cannot be frozen
+        at bind time; one O(V + E) pass per estimate is still far cheaper
+        than the path walk it replaces.
+        """
         assert self.planner.cluster is not None
         spec = self.planner.cluster.spec
-        best = 0.0
-        for path in spec.paths_from(module_id):
-            total = sum(self.planner.state(mid).duration for mid in path)
-            best = max(best, total)
-        return best
+        durations = {mid: self.planner.state(mid).duration for mid in spec.module_ids}
+        return spec.downstream_path_max(durations)[module_id]

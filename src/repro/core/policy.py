@@ -65,7 +65,10 @@ class PardPolicy(DropPolicy):
         self.priority = AdaptivePriorityController(mode=priority_mode)
         self.budget_mode = budget_mode
         self._budget_shares: dict[str, float] = {}
-        self._upstream_memo: dict[str, float] = {}
+        # module id -> share of the heaviest entry-to-module path
+        # (inclusive), recomputed from the spec's topological reduction
+        # whenever the shares change: O(1) per drop decision.
+        self._cum_shares: dict[str, float] = {}
         if name is not None:
             self.name = name
 
@@ -121,7 +124,7 @@ class PardPolicy(DropPolicy):
         }
         total = sum(d1.values())
         self._budget_shares = {mid: d / total for mid, d in d1.items()}
-        self._upstream_memo.clear()
+        self._cum_shares = spec.cumulative_upstream_max(self._budget_shares)
 
     def _recompute_wcl_budgets(self, now: float) -> None:
         """PARD-WCL: shares proportional to runtime worst-case latency.
@@ -143,41 +146,21 @@ class PardPolicy(DropPolicy):
         total = sum(wcl.values())
         if total > 0:
             self._budget_shares = {mid: v / total for mid, v in wcl.items()}
-            self._upstream_memo.clear()
+            assert self.cluster is not None
+            self._cum_shares = self.cluster.spec.cumulative_upstream_max(
+                self._budget_shares
+            )
 
     def _cumulative_budget(self, module_id: str, slo: float) -> float:
         """SLO share allocated to modules from the entry through ``module_id``.
 
-        For DAGs the share of a module is counted on the longest upstream
-        path (consistent with max-over-paths estimation).
+        For DAGs the share of a module is counted on the heaviest upstream
+        path (consistent with max-over-paths estimation) — read off the
+        spec's :meth:`~repro.pipeline.spec.PipelineSpec.cumulative_upstream_max`
+        table, which divides the budget over the token flow frozen in the
+        spec instead of recursing over (exponentially many) paths.
         """
-        assert self.cluster is not None
-        spec = self.cluster.spec
-        target_idx = spec.index_of(module_id)
-        # Chain fast path: share of every module up to and including k.
-        if spec.is_chain:
-            ids = spec.module_ids[: target_idx + 1]
-            return slo * sum(self._budget_shares[m] for m in ids)
-        # DAG: longest-share path from the entry to this module, inclusive.
-        best = self._best_upstream_share(module_id)
-        return slo * best
-
-    def _best_upstream_share(self, module_id: str) -> float:
-        # Memoized per budget refresh: the naive recursion re-expands every
-        # upstream path, which is exponential on dense DAGs (a k-wide
-        # all-to-all layering has k^depth entry paths).  The memo makes it
-        # one visit per node, invalidated whenever the shares change.
-        cached = self._upstream_memo.get(module_id)
-        if cached is not None:
-            return cached
-        assert self.cluster is not None
-        spec = self.cluster.spec
-        share = self._budget_shares[module_id]
-        preds = spec.predecessors(module_id)
-        if preds:
-            share += max(self._best_upstream_share(p) for p in preds)
-        self._upstream_memo[module_id] = share
-        return share
+        return slo * self._cum_shares[module_id]
 
     def describe(self) -> str:
         # Bracketed so a param-bearing display name ("PARD(lam=0.3)") does

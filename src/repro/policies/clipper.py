@@ -29,35 +29,11 @@ class ClipperPlusPlusPolicy(DropPolicy):
         super().bind(cluster)
         spec = cluster.spec
         shares = slo_split(spec, cluster.registry, cluster.slo)
-        self._cum_budget = {}
-        memo: dict[str, float] = {}
-        for mid in spec.module_ids:
-            self._cum_budget[mid] = shares[mid] + self._best_upstream(
-                mid, shares, memo
-            )
-
-    def _best_upstream(
-        self,
-        module_id: str,
-        shares: dict[str, float],
-        memo: dict[str, float],
-    ) -> float:
-        """Cumulative share of the longest upstream path (exclusive).
-
-        Memoized per bind: the bare recursion walks every upstream path,
-        which is exponential on dense DAGs.
-        """
-        cached = memo.get(module_id)
-        if cached is not None:
-            return cached
-        assert self.cluster is not None
-        preds = self.cluster.spec.predecessors(module_id)
-        best = max(
-            (shares[p] + self._best_upstream(p, shares, memo) for p in preds),
-            default=0.0,
-        )
-        memo[module_id] = best
-        return best
+        # Cumulative budget through module k = the heaviest entry-to-k
+        # path's share sum, straight from the spec's topological
+        # reduction: the budget divides over the token flow frozen in the
+        # spec, not over an enumeration of (exponentially many) paths.
+        self._cum_budget = spec.cumulative_upstream_max(shares)
 
     def should_drop(self, ctx: DropContext) -> DropReason | None:
         assert self.cluster is not None

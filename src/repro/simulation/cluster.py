@@ -1,9 +1,10 @@
 """Cluster: wires a pipeline spec into modules and routes requests.
 
 Handles the full request lifecycle across the DAG: entry dispatch, hop-by-hop
-forwarding, fork (a module with several successors sends the request to all
-of them), join (a module with several predecessors waits for every branch),
-drops (including DAG sibling invalidation) and completion.
+forwarding, fork (a module with several successors splits the request's token
+across the chosen branches), join (a module with several predecessors merges
+the tokens it will ever receive), drops (including DAG sibling invalidation)
+and completion (every live exit finished).
 
 The lifecycle itself lives in :class:`RequestFlow` so the single-application
 :class:`Cluster` and the multi-tenant views in
@@ -30,7 +31,7 @@ from .routing import PathRouter, StaticRouter
 
 
 class RequestFlow:
-    """Request lifecycle over one pipeline DAG.
+    """Request lifecycle over one pipeline DAG, with token-flow joins.
 
     Mixin consumed by :class:`Cluster` (modules are exclusively its own)
     and :class:`repro.simulation.tenancy.TenantView` (modules are shared
@@ -38,15 +39,29 @@ class RequestFlow:
     ``metrics``, ``router``, ``hop_delay``, ``modules`` (DAG module id ->
     data-plane :class:`Module`) and ``entry_id``, and to call
     :meth:`_init_flow_state` before the first request.
+
+    Join accounting follows the token-flow model (see
+    :mod:`repro.pipeline.spec`): a request carries one token per active
+    branch, a fork splits its token across the chosen successors, and a
+    join fires when every token it will ever receive has arrived.  Under
+    full fan-out that demand is the join's in-degree; when a router picks
+    a subset of branches, the spec's precomputed per-(fork, branch)
+    :class:`~repro.pipeline.spec.KillPlan` says exactly how much demand
+    each surviving join loses — no per-request graph walks, and a token
+    that re-merges at an early join is never double-counted at later ones.
     """
 
     def _init_flow_state(self) -> None:
-        # Join bookkeeping for DAG pipelines: request id -> module id ->
-        # count of branch deliveries received so far.  ``_join_needed``
-        # overrides the default in-degree requirement for requests routed
-        # down a subset of branches (dynamic paths).
-        self._join_counts: dict[int, dict[str, int]] = defaultdict(dict)
-        self._join_needed: dict[int, dict[str, int]] = defaultdict(dict)
+        # Token bookkeeping for DAG pipelines, keyed by request id and
+        # populated lazily (chains never touch it):
+        # ``_join_arrived``  join id -> tokens received so far;
+        # ``_join_expected`` join id -> tokens the join will ever receive
+        #                    (present only once a kill plan lowered it
+        #                    below the in-degree default);
+        # ``_exit_expected`` exits still due to execute (multi-exit DAGs).
+        self._join_arrived: dict[int, dict[str, int]] = defaultdict(dict)
+        self._join_expected: dict[int, dict[str, int]] = {}
+        self._exit_expected: dict[int, int] = {}
         # Observed branch choices at forks: (module, successor) -> count.
         # Feeds the request-path prediction extension (§5.2 future work).
         self.branch_counts: dict[tuple[str, str], int] = defaultdict(int)
@@ -57,6 +72,7 @@ class RequestFlow:
         self._pred_count = {
             mid: len(spec.predecessors(mid)) for mid in spec.module_ids
         }
+        self._n_exits = spec.exit_count
 
     # -- hop translation ---------------------------------------------------
 
@@ -95,72 +111,127 @@ class RequestFlow:
             # executing; the GPU time is already attributed and will count
             # as invalid.  Do not forward further.
             return
-        subs = self._successors[self.hop_id(module)]
+        hop = self.hop_id(module)
+        subs = self._successors[hop]
         if not subs:
-            request.mark_completed(self.sim.now)
-            self._forget(request)
-            self.metrics.record_request(request)
+            self._finish_exit(request)
             return
         chosen = subs
         if len(subs) > 1:
             chosen = tuple(self.router.select(request, module, subs))
             for s in chosen:
-                self.branch_counts[(self.hop_id(module), s)] += 1
-            self._record_branch_choice(request, chosen)
+                self.branch_counts[(hop, s)] += 1
+            if chosen is not subs and chosen != subs:
+                if len(chosen) > 1 and len(set(chosen)) != len(chosen):
+                    raise ValueError(
+                        f"router chose duplicate successors {chosen} at "
+                        f"fork {hop!r}"
+                    )
+                self._record_branch_choice(request, hop, subs, chosen)
         for sub in chosen:
             self._deliver(request, sub)
 
     def _record_branch_choice(
-        self, request: Request, chosen: tuple[str, ...]
+        self,
+        request: Request,
+        fork_id: str,
+        subs: tuple[str, ...],
+        chosen: tuple[str, ...],
     ) -> None:
-        """Adjust join requirements for a request passing a fork.
+        """A fork routed ``request`` down a strict subset of its branches.
 
-        For every join module reachable from the chosen branches, the one
-        token that was flowing through this fork is replaced by one token
-        per chosen branch whose paths lead there.  Accumulating this way
-        (rather than overwriting) keeps nested forks correct: when two
-        sequential forks both feed the same join, each fork substitutes
-        only its own token's contribution, so the final requirement is the
-        total number of branch deliveries actually en route.  The static
-        router reproduces the default in-degree requirement.
-
-        The per-branch join contributions come from the spec's precomputed
-        ``joins_reached`` table — the old per-request scan over every
-        module id (with an ``nx.descendants`` traversal each) sat directly
-        on the fork hot path.
+        Token-flow accounting: the token at the fork splits into one token
+        per *chosen* successor, so every unchosen edge stops carrying a
+        token.  The spec's precomputed per-(fork, branch)
+        :class:`~repro.pipeline.spec.KillPlan` translates each dead edge
+        into exit/join demand adjustments; overlapping choices by several
+        forks compose through the per-request counters, with joins whose
+        demand reaches zero propagating their own death plans.
         """
         spec = self.spec
-        counts: dict[str, int] = {}
-        for s in chosen:
-            for mid in spec.joins_reached(s):
-                counts[mid] = counts.get(mid, 0) + 1
-        if not counts:
-            return
-        needed = self._join_needed[request.rid]
-        for mid, cnt in counts.items():
-            # The token passing this fork counted as one pending delivery
-            # toward ``mid``; it now fans out into ``cnt``.
-            needed[mid] = needed.get(mid, 1) - 1 + cnt
+        for s in subs:
+            if s not in chosen:
+                self._apply_kill_plan(request, spec.edge_kill_plan(fork_id, s))
+
+    def _apply_kill_plan(self, request: Request, plan) -> None:
+        """Apply one spec-level kill plan to this request's token state."""
+        if plan.dead_exits:
+            self._retire_exits(request, plan.dead_exits)
+        for join_id, delta in plan.join_deltas:
+            self._kill_join_edges(request, join_id, delta)
+
+    def _retire_exits(self, request: Request, n: int) -> None:
+        remaining = self._exit_expected.get(request.rid, self._n_exits) - n
+        if remaining <= 0:
+            # Impossible by construction: every chosen branch leads to a
+            # still-pending exit, so at least one exit stays live.
+            raise RuntimeError(
+                f"request {request.rid}: token flow retired every exit"
+            )
+        self._exit_expected[request.rid] = remaining
+
+    def _kill_join_edges(self, request: Request, join_id: str, k: int) -> None:
+        """``k`` incoming edges of ``join_id`` will never carry a token."""
+        rid = request.rid
+        expected_map = self._join_expected.setdefault(rid, {})
+        expected = expected_map.get(join_id, self._pred_count[join_id]) - k
+        expected_map[join_id] = expected
+        arrived_map = self._join_arrived.get(rid)
+        arrived = arrived_map.get(join_id, 0) if arrived_map else 0
+        if expected < arrived or expected < 0:
+            raise RuntimeError(
+                f"request {rid}: join {join_id!r} expects {expected} tokens "
+                f"but already received {arrived}"
+            )
+        if expected == 0:
+            # The join will never execute: it merges no tokens, and its
+            # own outgoing edges go quiet.  Propagate.
+            if not self._successors[join_id]:
+                self._retire_exits(request, 1)
+            self._apply_kill_plan(request, self.spec.death_plan(join_id))
+        elif arrived == expected:
+            # Every token still en route has already arrived — the fork
+            # choice released the join.  Fire it now.
+            del arrived_map[join_id]
+            self._forward(request, join_id)
 
     def _deliver(self, request: Request, module_id: str) -> None:
-        """Deliver to a successor, honouring join semantics at merges."""
+        """Deliver one token to a successor, merging at joins."""
         n_preds = self._pred_count[module_id]
         if n_preds > 1:
-            counts = self._join_counts[request.rid]
+            counts = self._join_arrived[request.rid]
             arrived = counts.get(module_id, 0) + 1
-            counts[module_id] = arrived
-            needed = self._join_needed.get(request.rid, {}).get(
-                module_id, n_preds
+            expected_map = self._join_expected.get(request.rid)
+            expected = (
+                expected_map.get(module_id, n_preds)
+                if expected_map
+                else n_preds
             )
-            if arrived < needed:
-                return  # wait for the remaining branches
-            del counts[module_id]
+            if arrived < expected:
+                counts[module_id] = arrived
+                return  # wait for the remaining tokens
+            counts.pop(module_id, None)
+        self._forward(request, module_id)
+
+    def _forward(self, request: Request, module_id: str) -> None:
         if self.hop_delay > 0:
             self.sim.schedule_after(
                 self.hop_delay, self.modules[module_id].receive, request
             )
         else:
             self.modules[module_id].receive(request)
+
+    def _finish_exit(self, request: Request) -> None:
+        """A token reached an exit; complete once every live exit has."""
+        if self._n_exits > 1:
+            rid = request.rid
+            remaining = self._exit_expected.get(rid, self._n_exits) - 1
+            if remaining > 0:
+                self._exit_expected[rid] = remaining
+                return
+        request.mark_completed(self.sim.now)
+        self._forget(request)
+        self.metrics.record_request(request)
 
     def drop(self, request: Request, module_id: str, reason: DropReason) -> None:
         """Drop a request at ``module_id`` (idempotent for DAG siblings)."""
@@ -171,8 +242,9 @@ class RequestFlow:
         self.metrics.record_request(request)
 
     def _forget(self, request: Request) -> None:
-        self._join_counts.pop(request.rid, None)
-        self._join_needed.pop(request.rid, None)
+        self._join_arrived.pop(request.rid, None)
+        self._join_expected.pop(request.rid, None)
+        self._exit_expected.pop(request.rid, None)
 
     def branch_probability(self, module_id: str, successor: str) -> float:
         """Observed probability that a request at a fork takes ``successor``.

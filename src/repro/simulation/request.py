@@ -77,7 +77,12 @@ class Request:
     """One client request flowing through the pipeline.
 
     For DAG pipelines a single :class:`Request` object is shared by all
-    branches; the cluster tracks outstanding branch counts and join buffers.
+    branches; the owning :class:`~repro.simulation.cluster.RequestFlow`
+    tracks the token flow (tokens arrived and expected per join, exits
+    still live) keyed by ``rid``, so the request itself stays lean.
+    ``visits`` doubles as the token trail: :meth:`begin_visit` rejects a
+    second arrival at the same module, which is how a join double-fire —
+    impossible under token-flow accounting — would surface loudly.
     Slotted: requests are the highest-churn objects in the simulator and
     their fields are read on every queue/batch/drop decision.
     """

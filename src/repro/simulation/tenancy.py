@@ -4,7 +4,7 @@ A :class:`SharedCluster` hosts N applications over shared, name-keyed
 worker pools.  Modules from different apps that use the same model profile
 share a pool — their requests queue, batch and execute together on the same
 workers, so every policy observes the *aggregate* load — while each app
-keeps its own SLO, drop policy, router, join accounting and
+keeps its own SLO, drop policy, router, token-flow join accounting and
 :class:`~repro.metrics.collector.MetricsCollector`.
 
 Three pieces make that work:
@@ -121,7 +121,9 @@ class TenantView(RequestFlow):
     tenant's module ids onto the *shared* pool modules (so policy state
     like the PARD planner reads aggregate pool load), and the inherited
     :class:`~repro.simulation.cluster.RequestFlow` methods give it the same
-    fork/join semantics as a dedicated cluster.
+    token-flow fork/join semantics as a dedicated cluster: per-tenant token
+    counters over the tenant's own DAG, translated back from pool ids via
+    :meth:`hop_id`, so a shared pool never mixes two tenants' join demand.
     """
 
     def __init__(

@@ -55,6 +55,7 @@ def make_cluster(
     batch_plan: dict[str, int] | None = None,
     seed: int = 0,
     sync_interval: float = 0.5,
+    router=None,
 ) -> Cluster:
     """Build a small cluster over the tiny registry."""
     app = app or tiny_chain_app()
@@ -68,6 +69,7 @@ def make_cluster(
         metrics=MetricsCollector(),
         rng=RngStreams(seed=seed),
         sync_interval=sync_interval,
+        router=router,
     )
 
 

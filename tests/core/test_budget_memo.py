@@ -1,10 +1,13 @@
 """Regression tests: longest-upstream-share computation on dense DAGs.
 
-``PardPolicy._best_upstream_share`` (and Clipper++'s bind-time equivalent)
-used to recurse per predecessor with no memo — exponential in DAG depth on
-layered all-to-all graphs (width^depth path expansions).  These tests pin
-the memoized behaviour: one visit per node, correct longest-path shares,
-and invalidation when the shares are recomputed.
+``PardPolicy`` (and Clipper++'s bind-time equivalent) used to recurse per
+predecessor — exponential in DAG depth on layered all-to-all graphs
+(width^depth path expansions) before memoization, and a per-policy memo
+afterwards.  Both now read the spec's single topological reduction
+(:meth:`PipelineSpec.cumulative_upstream_max`); these tests pin that the
+reduction is linear-time correct on graphs the naive walk could never
+finish, matches brute-force path enumeration exactly, and is refreshed
+when budget shares are recomputed.
 """
 
 from __future__ import annotations
@@ -15,8 +18,8 @@ from repro.pipeline.spec import ModuleSpec, PipelineSpec
 from repro.pipeline.profiles import DEFAULT_PROFILES
 from repro.policies.clipper import ClipperPlusPlusPolicy
 
-#: Deep enough that the unmemoized recursion (3^38 expansions) could never
-#: finish — the test only passes at all because the memo makes it linear.
+#: Deep enough that recursive path enumeration (3^38 expansions) could
+#: never finish — the test only passes because the reduction is linear.
 LAYERS = 40
 WIDTH = 3
 
@@ -61,7 +64,7 @@ class _StubCluster:
         return module.spec.id
 
 
-class TestPardUpstreamShareMemo:
+class TestPardUpstreamShares:
     def _bound_policy(self, spec: PipelineSpec) -> PardPolicy:
         policy = PardPolicy(budget_mode=BudgetMode.SPLIT, samples=10)
         policy.cluster = _StubCluster(spec)
@@ -71,43 +74,39 @@ class TestPardUpstreamShareMemo:
     def test_wide_dag_is_linear_not_exponential(self):
         spec = wide_dag()
         policy = self._bound_policy(spec)
-        calls = 0
-        original = policy._best_upstream_share
-
-        def counting(module_id: str) -> float:
-            nonlocal calls
-            calls += 1
-            return original(module_id)
-
-        policy._best_upstream_share = counting
         budget = policy._cumulative_budget("sink", slo=1.0)
         # Identical profiles: every module holds share 1/N and each
         # entry-to-sink path visits LAYERS + 2 modules.
         n = len(spec.modules)
         assert abs(budget - (LAYERS + 2) / n) < 1e-9
-        # Linear: one expansion per node plus one memo hit per edge (the
-        # unmemoized recursion needed width^depth ~ 3^38 expansions).
-        edges = sum(len(m.pres) for m in spec.modules)
-        assert calls <= n + edges
 
-    def test_memo_reused_across_modules(self):
+    def test_table_covers_every_module(self):
         spec = wide_dag(layers=4)
         policy = self._bound_policy(spec)
+        assert set(policy._cum_shares) == set(spec.module_ids)
+        # Repeat queries are pure table reads (per-request hot path).
         first = policy._cumulative_budget("sink", slo=1.0)
-        # The memo must serve repeat queries (per-request hot path).
         assert policy._cumulative_budget("sink", slo=1.0) == first
-        assert policy._upstream_memo  # populated
 
-    def test_memo_invalidated_when_shares_recompute(self):
+    def test_table_refreshed_when_shares_recompute(self):
         spec = wide_dag(layers=3)
         policy = self._bound_policy(spec)
-        policy._cumulative_budget("sink", slo=1.0)
-        assert policy._upstream_memo
-        # A share refresh (static or WCL) must flush stale path sums.
+        before = dict(policy._cum_shares)
+        # A share refresh (static or WCL) must rebuild the table, not
+        # keep serving sums computed from stale shares.
+        policy._budget_shares = {
+            mid: 2.0 * v for mid, v in policy._budget_shares.items()
+        }
+        policy._cum_shares = spec.cumulative_upstream_max(
+            policy._budget_shares
+        )
+        for mid, v in before.items():
+            assert abs(policy._cum_shares[mid] - 2.0 * v) < 1e-12
         policy._recompute_static_budgets()
-        assert not policy._upstream_memo
+        for mid, v in before.items():
+            assert abs(policy._cum_shares[mid] - v) < 1e-12
 
-    def test_chain_fast_path_unaffected(self):
+    def test_chain_budget(self):
         spec = PipelineSpec(name="chain", modules=[
             ModuleSpec("a", "object_detection", subs=("b",)),
             ModuleSpec("b", "object_detection", pres=("a",), subs=("c",)),
@@ -117,7 +116,39 @@ class TestPardUpstreamShareMemo:
         assert abs(policy._cumulative_budget("b", slo=0.9) - 0.6) < 1e-9
 
 
-class TestClipperUpstreamMemo:
+class TestReductionMatchesPathEnumeration:
+    def diamond(self) -> PipelineSpec:
+        return PipelineSpec(name="d", modules=[
+            ModuleSpec("m1", "a", subs=("m2", "m3")),
+            ModuleSpec("m2", "b", pres=("m1",), subs=("m4",)),
+            ModuleSpec("m3", "c", pres=("m1",), subs=("m4",)),
+            ModuleSpec("m4", "d", pres=("m2", "m3")),
+        ])
+
+    def test_upstream_max_equals_brute_force(self):
+        spec = self.diamond()
+        values = {"m1": 0.125, "m2": 0.5, "m3": 0.25, "m4": 0.0625}
+        cum = spec.cumulative_upstream_max(values)
+        assert cum["m1"] == 0.125
+        assert cum["m2"] == 0.625  # m1 + m2
+        assert cum["m3"] == 0.375  # m1 + m3
+        assert cum["m4"] == 0.6875  # heavier branch m1 + m2 + m4
+
+    def test_downstream_max_equals_brute_force(self):
+        spec = self.diamond()
+        values = {"m1": 0.125, "m2": 0.5, "m3": 0.25, "m4": 0.0625}
+        out = spec.downstream_path_max(values)
+        # Exclusive of the module itself, matching ``paths_from``.
+        for mid in spec.module_ids:
+            brute = max(
+                (sum(values[m] for m in path)
+                 for path in spec.paths_from(mid)),
+                default=0.0,
+            )
+            assert out[mid] == brute
+
+
+class TestClipperUpstreamShares:
     def test_wide_dag_bind_completes(self):
         spec = wide_dag()
         policy = ClipperPlusPlusPolicy()

@@ -75,6 +75,52 @@ class TestValidation:
                 modules=[ModuleSpec("m1", "a"), ModuleSpec("m2", "b")],
             )
 
+    def test_duplicate_successor_edge_rejected(self):
+        # nx would silently deduplicate m1->m2 twice, but the request flow
+        # would deliver two tokens over it — reject at construction.
+        with pytest.raises(ValueError, match="duplicate successor"):
+            PipelineSpec(
+                name="bad",
+                modules=[
+                    ModuleSpec("m1", "a", subs=("m2", "m2")),
+                    ModuleSpec("m2", "b", pres=("m1",)),
+                ],
+            )
+
+    def test_duplicate_predecessor_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate predecessor"):
+            PipelineSpec(
+                name="bad",
+                modules=[
+                    ModuleSpec("m1", "a", subs=("m2",)),
+                    ModuleSpec("m2", "b", pres=("m1", "m1")),
+                ],
+            )
+
+    def test_unreachable_cycle_named(self):
+        # A cycle hanging off the reachable DAG: diagnosed as the
+        # unreachable region it is, naming the modules.
+        with pytest.raises(ValueError, match=r"unreachable.*\['m3', 'm4'\]"):
+            PipelineSpec(
+                name="bad",
+                modules=[
+                    ModuleSpec("m1", "a", subs=("m2",)),
+                    ModuleSpec("m2", "b", pres=("m1", "m4")),
+                    ModuleSpec("m3", "c", pres=("m4",), subs=("m4",)),
+                    ModuleSpec("m4", "d", pres=("m3",), subs=("m2", "m3")),
+                ],
+            )
+
+    def test_all_modules_with_preds_rejected(self):
+        with pytest.raises(ValueError, match="no entry module"):
+            PipelineSpec(
+                name="bad",
+                modules=[
+                    ModuleSpec("m1", "a", pres=("m2",), subs=("m2",)),
+                    ModuleSpec("m2", "b", pres=("m1",), subs=("m1",)),
+                ],
+            )
+
 
 class TestDagPaths:
     def dag(self) -> PipelineSpec:
@@ -160,22 +206,64 @@ class TestFrozenStructure:
         order.clear()
         assert spec.topological_order() == original
 
-    def test_joins_reached(self):
+    def test_token_flow_tables(self):
         spec = self.wide()
-        # "j" is the only join; every upstream module reaches it, the
-        # terminal does not, and the join reaches itself by definition.
-        for mid in ("s", "f1", "f2", "g1", "g2", "j"):
-            assert spec.joins_reached(mid) == ("j",)
-        assert spec.joins_reached("t") == ()
+        assert spec.join_ids == ("j",)
+        assert set(spec.fork_ids) == {"s", "f2"}
+        assert spec.exit_count == 1
+        assert spec.in_degree("j") == 3
+        assert spec.in_degree("s") == 0
+        assert spec.in_degree("t") == 1
+
+    def test_edge_kill_plan_single_branch(self):
+        spec = self.wide()
+        # Not routing s -> f1 kills f1 only; j survives one token short.
+        plan = spec.edge_kill_plan("s", "f1")
+        assert plan.dead == ("f1",)
+        assert plan.dead_exits == 0
+        assert plan.join_deltas == (("j", 1),)
+        # Not routing f2 -> g1 kills g1 only, same border join.
+        plan = spec.edge_kill_plan("f2", "g1")
+        assert plan.dead == ("g1",)
+        assert plan.join_deltas == (("j", 1),)
+
+    def test_edge_kill_plan_kills_nested_fork(self):
+        spec = self.wide()
+        # Not routing s -> f2 kills the whole nested fork: g1 and g2 can
+        # never receive a token, so j loses two of its three in-edges.
+        plan = spec.edge_kill_plan("s", "f2")
+        assert set(plan.dead) == {"f2", "g1", "g2"}
+        assert plan.dead_exits == 0
+        assert plan.join_deltas == (("j", 2),)
+
+    def test_edge_kill_plan_non_fork_edge_raises(self):
+        spec = self.wide()
+        with pytest.raises(ValueError, match="not a fork edge"):
+            spec.edge_kill_plan("j", "t")
+        with pytest.raises(ValueError, match="not a fork edge"):
+            spec.edge_kill_plan("s", "t")
+
+    def test_death_plan_propagates_to_exit(self):
+        spec = self.wide()
+        # If j never executes, everything downstream of it dies too.
+        plan = spec.death_plan("j")
+        assert plan.dead == ("t",)
+        assert plan.dead_exits == 1
+        assert plan.join_deltas == ()
+        # An exit's death plan is empty (nothing downstream).
+        assert spec.death_plan("t").dead == ()
 
     def test_index_of_unknown_raises(self):
         with pytest.raises(ValueError):
             self.wide().index_of("nope")
 
-    def test_chain_has_no_joins(self):
+    def test_chain_has_no_joins_or_forks(self):
         spec = chain("c", ["a", "b", "c"])
+        assert spec.join_ids == ()
+        assert spec.fork_ids == ()
+        assert spec.exit_count == 1
         for mid in spec.module_ids:
-            assert spec.joins_reached(mid) == ()
+            assert spec.in_degree(mid) <= 1
 
 
 class TestJsonRoundTrip:

@@ -134,10 +134,10 @@ class TestDagRouting:
         assert request.visit("m6").t_received == pytest.approx(
             max(branch_ends)
         )
-        # Exactly one record, and no stray join state left behind.
+        # Exactly one record, and no stray token state left behind.
         assert len(cluster.metrics.records) == 1
-        assert not cluster._join_counts
-        assert not cluster._join_needed
+        assert not cluster._join_arrived
+        assert not cluster._join_expected
 
     def test_nested_forks_many_requests_all_accounted(self):
         from repro.pipeline.applications import Application

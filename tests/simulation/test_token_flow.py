@@ -1,0 +1,277 @@
+"""Token-flow join accounting: regression tests for re-merging DAGs.
+
+Path-counting join accounting (count the joins each chosen branch reaches,
+require ``1 + sum(counts - 1)`` arrivals) is wrong on any DAG where flow
+re-merges before a later join: a token that merges at an intermediate join
+is *one* token afterwards, no matter how many paths fed the merge.  The
+canonical failure is the diamond-of-diamonds, which deadlocked under the
+old accounting (the final join waited for 3 tokens but only 2 exist).
+These tests pin the token-flow semantics: demand = predecessors that will
+actually execute, composed at runtime from the spec's precomputed kill
+plans (see :mod:`repro.pipeline.spec`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import BudgetMode, PardPolicy
+from repro.metrics.collector import MetricsCollector
+from repro.pipeline.applications import Application
+from repro.pipeline.spec import ModuleSpec, PipelineSpec
+from repro.policies.clipper import ClipperPlusPlusPolicy
+from repro.policies.naive import NaivePolicy
+from repro.simulation.engine import Simulator
+from repro.simulation.request import RequestStatus
+from repro.simulation.rng import RngStreams
+from repro.simulation.routing import ProbabilisticRouter, ResultDependentRouter
+from repro.simulation.tenancy import SharedCluster, Tenant
+
+from ..conftest import make_cluster, tiny_dag_app, tiny_registry
+
+
+def diamond_of_diamonds() -> PipelineSpec:
+    """m1 -> {a, b} -> j1 -> {c, d} -> j2: two diamonds in sequence.
+
+    Path-counting saw two joins downstream of each m1 branch and demanded
+    three tokens at j2; only two can ever arrive, so the request hung.
+    Token flow: j1 merges back into one token, j2's demand is its
+    in-degree (2).
+    """
+    return PipelineSpec(
+        name="diamond-of-diamonds",
+        modules=[
+            ModuleSpec("m1", "alpha", subs=("a", "b")),
+            ModuleSpec("a", "beta", pres=("m1",), subs=("j1",)),
+            ModuleSpec("b", "gamma", pres=("m1",), subs=("j1",)),
+            ModuleSpec("j1", "beta", pres=("a", "b"), subs=("c", "d")),
+            ModuleSpec("c", "gamma", pres=("j1",), subs=("j2",)),
+            ModuleSpec("d", "alpha", pres=("j1",), subs=("j2",)),
+            ModuleSpec("j2", "beta", pres=("c", "d")),
+        ],
+    )
+
+
+class TestDiamondOfDiamonds:
+    def test_completes_with_each_join_firing_once(self):
+        cluster = make_cluster(
+            NaivePolicy(), app=Application(spec=diamond_of_diamonds(), slo=5.0)
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        # begin_visit raises on a second arrival, so presence in visits
+        # proves each join fired exactly once.
+        assert set(request.visits) == {"m1", "a", "b", "j1", "c", "d", "j2"}
+        # j1 fired only after both inner branches, j2 after both outer.
+        assert request.visit("j1").t_received == pytest.approx(
+            max(request.visit("a").t_exec_end, request.visit("b").t_exec_end)
+        )
+        assert request.visit("j2").t_received == pytest.approx(
+            max(request.visit("c").t_exec_end, request.visit("d").t_exec_end)
+        )
+        # No token state leaks once the request completed.
+        assert not cluster._join_arrived
+        assert not cluster._join_expected
+        assert not cluster._exit_expected
+
+    def test_many_requests_all_accounted(self):
+        cluster = make_cluster(
+            NaivePolicy(), app=Application(spec=diamond_of_diamonds(), slo=5.0)
+        )
+        for i in range(25):
+            cluster.submit_at(0.003 * i)
+        cluster.sim.run()
+        records = cluster.metrics.records
+        assert len(records) == 25
+        assert all(r.status is RequestStatus.COMPLETED for r in records)
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: PardPolicy(budget_mode=BudgetMode.SPLIT, samples=50),
+            ClipperPlusPlusPolicy,
+        ],
+        ids=["pard-split", "clipper++"],
+    )
+    def test_split_budget_policies_complete(self, policy_factory):
+        # Split-budget policies key their cumulative tables by hop id on
+        # every drop decision — the whole DAG must be covered.
+        cluster = make_cluster(
+            policy_factory(),
+            app=Application(spec=diamond_of_diamonds(), slo=5.0),
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        assert set(request.visits) == {"m1", "a", "b", "j1", "c", "d", "j2"}
+
+    def test_shared_cluster_per_tenant_token_state(self):
+        app = Application(spec=diamond_of_diamonds(), slo=5.0)
+        shared = SharedCluster(
+            sim=Simulator(),
+            tenants=[
+                Tenant(name="t1", app=app, policy=NaivePolicy()),
+                Tenant(name="t2", app=app, policy=NaivePolicy()),
+            ],
+            workers=1,
+            registry=tiny_registry(),
+            rng=RngStreams(seed=0),
+        )
+        r1 = shared.submit_at("t1", 0.0)
+        r2 = shared.submit_at("t2", 0.001)
+        shared.sim.run()
+        for request in (r1, r2):
+            assert request.status is RequestStatus.COMPLETED
+            # Visits are keyed by shared-pool id; translate them back to
+            # the tenant's DAG positions to check every hop ran once.
+            view = shared.views[request.app]
+            hops = {view._mid_of_pool[pool_id] for pool_id in request.visits}
+            assert hops == {"m1", "a", "b", "j1", "c", "d", "j2"}
+            assert len(request.visits) == 7
+        for view in shared.views.values():
+            assert not view._join_arrived
+            assert not view._join_expected
+
+
+class TestDynamicRouting:
+    def test_single_branch_choice_lowers_join_demand(self):
+        # Router always takes m2; the join's demand drops from 2 to 1 and
+        # it fires on m2's token alone, without waiting for dead m3.
+        router = ResultDependentRouter(lambda request, subs: (subs[0],))
+        cluster = make_cluster(
+            NaivePolicy(), app=tiny_dag_app(slo=5.0), router=router
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        assert set(request.visits) == {"m1", "m2", "m4"}
+        assert request.visit("m4").t_received == pytest.approx(
+            request.visit("m2").t_exec_end
+        )
+
+    def test_kill_propagates_through_nested_fork(self):
+        # s -> {f1, f2}, f2 -> {g1, g2}, j merges f1/g1/g2.  Choosing f1
+        # at s kills the entire nested fork: j's demand drops by two and
+        # it fires on f1's token alone.
+        spec = PipelineSpec(
+            name="nested",
+            modules=[
+                ModuleSpec("s", "alpha", subs=("f1", "f2")),
+                ModuleSpec("f1", "beta", pres=("s",), subs=("j",)),
+                ModuleSpec("f2", "gamma", pres=("s",), subs=("g1", "g2")),
+                ModuleSpec("g1", "alpha", pres=("f2",), subs=("j",)),
+                ModuleSpec("g2", "beta", pres=("f2",), subs=("j",)),
+                ModuleSpec("j", "gamma", pres=("f1", "g1", "g2"), subs=("t",)),
+                ModuleSpec("t", "alpha", pres=("j",)),
+            ],
+        )
+        router = ResultDependentRouter(
+            lambda request, subs: ("f1",) if "f1" in subs else subs
+        )
+        cluster = make_cluster(
+            NaivePolicy(), app=Application(spec=spec, slo=5.0), router=router
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        assert set(request.visits) == {"s", "f1", "j", "t"}
+
+    def test_release_fires_join_whose_token_already_arrived(self):
+        # a's token reaches j early and waits for the f -> j edge; when f
+        # then routes away from j, the kill must *release* j immediately
+        # (expected drops to the tokens already arrived) — deferring would
+        # deadlock, since no further token is coming.
+        spec = PipelineSpec(
+            name="release",
+            modules=[
+                ModuleSpec("s", "alpha", subs=("a", "b")),
+                ModuleSpec("a", "gamma", pres=("s",), subs=("j",)),
+                ModuleSpec("b", "alpha", pres=("s",), subs=("f",)),
+                ModuleSpec("f", "alpha", pres=("b",), subs=("j", "e")),
+                ModuleSpec("e", "gamma", pres=("f",)),
+                ModuleSpec("j", "beta", pres=("a", "f")),
+            ],
+        )
+        router = ResultDependentRouter(
+            lambda request, subs: ("e",) if "e" in subs else subs
+        )
+        cluster = make_cluster(
+            NaivePolicy(), app=Application(spec=spec, slo=5.0), router=router
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        # Both live exits executed; j fired at the moment of the kill.
+        assert set(request.visits) == {"s", "a", "b", "f", "e", "j"}
+        assert request.visit("j").t_received == pytest.approx(
+            request.visit("f").t_exec_end
+        )
+        assert not cluster._join_arrived
+        assert not cluster._exit_expected
+
+    def test_unchosen_exit_branch_is_retired(self):
+        # Choosing x at the fork retires exit y: the request completes on
+        # x alone instead of waiting forever for a token y never gets.
+        spec = PipelineSpec(
+            name="two-exits",
+            modules=[
+                ModuleSpec("s", "alpha", subs=("x", "y")),
+                ModuleSpec("x", "beta", pres=("s",)),
+                ModuleSpec("y", "gamma", pres=("s",)),
+            ],
+        )
+        router = ResultDependentRouter(lambda request, subs: ("x",))
+        cluster = make_cluster(
+            NaivePolicy(), app=Application(spec=spec, slo=5.0), router=router
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        assert set(request.visits) == {"s", "x"}
+        assert not cluster._exit_expected
+
+    def test_composed_kills_make_join_dead_and_propagate(self):
+        # Two independent forks each kill one in-edge of join x.  Neither
+        # plan alone kills x, but composed at runtime its demand reaches
+        # zero: x is dead, and its death plan retires the exit behind it.
+        spec = PipelineSpec(
+            name="composed",
+            modules=[
+                ModuleSpec("s", "alpha", subs=("p", "q")),
+                ModuleSpec("p", "beta", pres=("s",), subs=("p1", "x")),
+                ModuleSpec("q", "gamma", pres=("s",), subs=("q1", "x")),
+                ModuleSpec("p1", "gamma", pres=("p",)),
+                ModuleSpec("q1", "beta", pres=("q",)),
+                ModuleSpec("x", "beta", pres=("p", "q"), subs=("z",)),
+                ModuleSpec("z", "alpha", pres=("x",)),
+            ],
+        )
+        router = ResultDependentRouter(
+            lambda request, subs: (subs[0],) if "x" in subs else subs
+        )
+        cluster = make_cluster(
+            NaivePolicy(), app=Application(spec=spec, slo=5.0), router=router
+        )
+        request = cluster.submit_at(0.0)
+        cluster.sim.run()
+        assert request.status is RequestStatus.COMPLETED
+        assert set(request.visits) == {"s", "p", "q", "p1", "q1"}
+        assert not cluster._join_arrived
+        assert not cluster._join_expected
+        assert not cluster._exit_expected
+
+    def test_probabilistic_router_every_request_accounted(self):
+        cluster = make_cluster(
+            NaivePolicy(),
+            app=tiny_dag_app(slo=5.0),
+            router=ProbabilisticRouter(seed=7),
+        )
+        for i in range(40):
+            cluster.submit_at(0.002 * i)
+        cluster.sim.run()
+        records = cluster.metrics.records
+        assert len(records) == 40
+        assert all(r.status is RequestStatus.COMPLETED for r in records)
+        assert not cluster._join_arrived
+        assert not cluster._join_expected

@@ -1,0 +1,151 @@
+"""Property tests: token-flow lifecycle on seeded random DAGs.
+
+Rather than enumerate shapes by hand, generate random single-entry DAGs
+(dense enough to re-merge flow repeatedly) and assert the lifecycle
+invariant that path-counting violated: under every registered policy,
+every admitted request reaches exactly one terminal state — completed or
+dropped, never both, never neither — with no token state left behind.
+A sweep over an inline-pipeline scenario additionally pins that a process
+pool reproduces the serial run byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.pipeline.applications import Application
+from repro.pipeline.spec import ModuleSpec, PipelineSpec
+from repro.policies.registry import known_policies, make_policy
+from repro.simulation.cluster import Cluster
+from repro.simulation.engine import Simulator
+from repro.simulation.request import RequestStatus
+from repro.simulation.rng import RngStreams
+from repro.simulation.routing import ResultDependentRouter
+
+from ..conftest import tiny_registry
+
+MODELS = ("alpha", "beta", "gamma")
+
+
+def random_dag(seed: int, n: int = 9) -> PipelineSpec:
+    """A random single-entry DAG over the tiny registry models.
+
+    Nodes are generated in topological order; every non-entry node picks
+    1-3 predecessors among the earlier nodes, so flow forks, re-merges
+    and forks again — exactly the shapes where join demand and in-degree
+    diverge under subset routing.
+    """
+    rng = random.Random(seed)
+    preds: dict[int, list[int]] = {0: []}
+    for i in range(1, n):
+        k = min(i, rng.choice((1, 1, 2, 3)))
+        preds[i] = sorted(rng.sample(range(i), k))
+    subs: dict[int, list[int]] = {i: [] for i in range(n)}
+    for i, ps in preds.items():
+        for p in ps:
+            subs[p].append(i)
+    modules = [
+        ModuleSpec(
+            id=f"m{i}",
+            model=MODELS[i % len(MODELS)],
+            pres=tuple(f"m{p}" for p in preds[i]),
+            subs=tuple(f"m{s}" for s in subs[i]),
+        )
+        for i in range(n)
+    ]
+    return PipelineSpec(name=f"random-dag-{seed}", modules=modules)
+
+
+def _rid_router() -> ResultDependentRouter:
+    """Deterministic per-request subset choice (exercises kill plans)."""
+
+    def choose(request, subs):
+        return subs[: 1 + request.rid % len(subs)]
+
+    return ResultDependentRouter(choose)
+
+
+def _run(spec: PipelineSpec, policy_name: str, requests: int = 12) -> Cluster:
+    cluster = Cluster(
+        sim=Simulator(),
+        app=Application(spec=spec, slo=5.0),
+        policy=make_policy(policy_name, seed=3),
+        workers=1,
+        registry=tiny_registry(),
+        metrics=MetricsCollector(),
+        rng=RngStreams(seed=3),
+        router=_rid_router(),
+    )
+    for i in range(requests):
+        cluster.submit_at(0.004 * i)
+    cluster.sim.run()
+    return cluster
+
+
+@pytest.mark.parametrize("dag_seed", [11, 23, 47])
+@pytest.mark.parametrize("policy_name", known_policies())
+def test_every_request_terminal_exactly_once(dag_seed, policy_name):
+    spec = random_dag(dag_seed)
+    cluster = _run(spec, policy_name)
+    records = cluster.metrics.records
+    # Exactly one terminal record per admitted request.
+    assert len(records) == cluster.metrics.submitted == 12
+    rids = [r.rid for r in records]
+    assert len(rids) == len(set(rids))
+    for record in records:
+        assert record.status in (
+            RequestStatus.COMPLETED, RequestStatus.DROPPED,
+        )
+        # No module executed twice for one request.
+        visited = [v.module_id for v in record.visits]
+        assert len(visited) == len(set(visited))
+    # All per-request token state was reclaimed.
+    assert not cluster._join_arrived
+    assert not cluster._join_expected
+    assert not cluster._exit_expected
+
+
+def test_random_dags_have_joins_and_multiple_exits():
+    """The generator must actually produce the interesting shapes."""
+    specs = [random_dag(seed) for seed in (11, 23, 47)]
+    assert any(spec.join_ids for spec in specs)
+    assert any(spec.fork_ids for spec in specs)
+    assert any(spec.exit_count > 1 for spec in specs)
+
+
+def test_inline_dag_sweep_pool_matches_serial_bytes():
+    """Serial and 2-process sweeps over an inline DAG app are bitwise equal."""
+    from repro.experiments.scenario import Scenario
+    from repro.experiments.sweep import run_sweep, scenario_cells, summaries_text
+
+    spec = random_dag(23)
+    scenarios = [
+        Scenario(
+            name=f"prop-{policy}-{seed}",
+            app={
+                "pipeline": spec.name,
+                "slo": 0.5,
+                "modules": [
+                    {
+                        "id": m.id, "model": "object_detection",
+                        "pres": list(m.pres), "subs": list(m.subs),
+                    }
+                    for m in spec.modules
+                ],
+            },
+            trace={"name": "tweet", "duration": 6, "base_rate": 25},
+            policy=policy,
+            seed=seed,
+            workers=1,
+        )
+        for policy in ("PARD", "Clipper++")
+        for seed in (0, 1)
+    ]
+    cells = scenario_cells(scenarios)
+    serial = run_sweep(cells, workers=1, cache_dir=None)
+    assert all(r.ok for r in serial), [r.error for r in serial if not r.ok]
+    parallel = run_sweep(cells, workers=2, cache_dir=None)
+    assert summaries_text(parallel) == summaries_text(serial)
