@@ -36,6 +36,7 @@ GOLDEN_SCENARIOS = (
     "diamond_merge",
     "fair_share",
     "lam_sweep",
+    "llm_serving",
     "shared_cluster",
 )
 

@@ -14,6 +14,10 @@ the simulator:
   number measures the engine rather than process-pool overhead.  Cells
   only consume summaries, so they run lean when the installed package
   supports it.
+* **llm-serving** — a shared cluster hosting an LLM chat tenant next to
+  the agentic RAG pipeline: iteration-level continuous batching, KV-cache
+  reservations and token-SLO goodput accounting on the hot path.  Skipped
+  automatically on checkouts that predate the LLM applications.
 
 Workloads are declared as plain scenario dicts — the same schema scenario
 files use — so the harness is self-contained and runs unmodified against
@@ -35,8 +39,8 @@ from ..experiments.scenario import (
 )
 
 #: Trace seconds per workload: full fidelity vs ``--quick``.
-_FULL = {"single": 30.0, "multi": 20.0, "sweep": 15.0}
-_QUICK = {"single": 10.0, "multi": 8.0, "sweep": 6.0}
+_FULL = {"single": 30.0, "multi": 20.0, "sweep": 15.0, "llm": 15.0}
+_QUICK = {"single": 10.0, "multi": 8.0, "sweep": 6.0, "llm": 6.0}
 
 
 def _single_dag(duration: float) -> dict:
@@ -109,10 +113,63 @@ def _sweep_grid(duration: float) -> dict:
     }
 
 
+def _llm_serving(duration: float) -> dict:
+    return {
+        "name": "bench-llm-serving",
+        "tenants": [
+            {
+                "weight": 1.0,
+                "scenario": {
+                    "name": "chat",
+                    "app": {"name": "llm-chat"},
+                    "policy": "PARD",
+                    "trace": {
+                        "name": "tweet",
+                        "duration": duration,
+                        "base_rate": 30,
+                    },
+                    "goodput": {"ttft": 0.35, "tpot": 0.005, "e2e": 8.0},
+                },
+            },
+            {
+                "weight": 1.0,
+                "scenario": {
+                    "name": "rag",
+                    "app": {"name": "rag-agentic"},
+                    "policy": "PARD",
+                    "trace": {
+                        "name": "poisson",
+                        "duration": duration,
+                        "base_rate": 12,
+                    },
+                    "router": {
+                        "kind": "probabilistic",
+                        "weights": {"rerank": 0.6, "generate_direct": 0.4},
+                    },
+                    "goodput": {"ttft": 1.0, "e2e": 10.0},
+                },
+            },
+        ],
+        "seed": 0,
+    }
+
+
 #: ``run_scenario`` grew a ``lean`` keyword in this PR; detect it so the
 #: identical harness also runs against pre-lean checkouts when measuring
 #: a baseline (falling back to full collection — their real cost).
 _SUPPORTS_LEAN = "lean" in inspect.signature(run_scenario).parameters
+
+
+def _supports_llm() -> bool:
+    """True when the installed package registers the LLM applications.
+
+    Keeps the harness runnable unmodified against pre-LLM checkouts when
+    measuring a baseline — the llm-serving workload is simply absent
+    there, and macro comparisons should be read workload-by-workload.
+    """
+    from ..pipeline.applications import APPLICATIONS
+
+    return "llm-chat" in APPLICATIONS and "rag-agentic" in APPLICATIONS
 
 
 @dataclass(frozen=True)
@@ -159,9 +216,14 @@ def bench_workloads(quick: bool = False) -> list[BenchWorkload]:
     n_cells = 1
     for values in sweep["axes"].values():
         n_cells *= len(values)
-    return [
+    out = [
         BenchWorkload("single-dag", "single", lambda: _run_single(single)),
         BenchWorkload("multi-tenant", "multi", lambda: _run_multi(multi)),
         BenchWorkload("sweep-grid", "sweep", lambda: _run_sweep(sweep),
                       cells=n_cells),
     ]
+    if _supports_llm():
+        llm = _llm_serving(durations["llm"])
+        out.append(BenchWorkload("llm-serving", "llm",
+                                 lambda: _run_multi(llm)))
+    return out

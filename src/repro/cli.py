@@ -43,12 +43,14 @@ from .experiments.sweep import (
 )
 from .metrics.report import (
     comparison_table,
+    goodput_table,
     per_app_drop_table,
     per_app_table,
     per_module_drop_table,
     policy_descriptions,
 )
-from .pipeline.applications import known_applications
+from .pipeline.applications import get_application, known_applications
+from .pipeline.llm_profiles import is_llm_application
 from .policies.ablations import ABLATIONS
 from .policies.base import DropPolicy
 from .policies.registry import ADMISSIONS, POLICIES, known_admissions
@@ -239,6 +241,10 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         print(per_app_table(result.summaries, markdown=args.markdown))
         print()
         print(per_app_drop_table(result, markdown=args.markdown))
+        reports = {k: v for k, v in result.goodputs.items() if v is not None}
+        if reports:
+            print("\ngoodput under declared SLO constraints:")
+            print(goodput_table(reports, markdown=args.markdown))
         agg = result.aggregate
         print(f"\naggregate: goodput {agg.goodput:.1f}/s "
               f"drop {agg.drop_rate:.2%} invalid {agg.invalid_rate:.2%}")
@@ -254,6 +260,10 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     print()
     print(per_module_drop_table({result.policy_name: result},
                                 markdown=args.markdown))
+    if result.goodput is not None:
+        print("\ngoodput under declared SLO constraints:")
+        print(goodput_table({result.policy_name: result.goodput},
+                            markdown=args.markdown))
     print()
     print(policy_descriptions({result.policy_name: result}))
     for line in result.failure_log:
@@ -343,7 +353,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    print("applications:", ", ".join(known_applications()))
+    if args.llm:
+        # One row per application with its profile kind: "llm" when any
+        # module resolves to a token-cost LLMProfile, "fixed" otherwise.
+        from .metrics.report import format_table
+
+        rows = []
+        for name in known_applications():
+            try:
+                app = get_application(name)
+            except (KeyError, ValueError):
+                rows.append([name, "?", "-"])
+                continue
+            kind = "llm" if is_llm_application(app) else "fixed"
+            rows.append([name, kind, str(len(app.spec.modules))])
+        print(format_table(["application", "profile kind", "modules"], rows))
+    else:
+        print("applications:", ", ".join(known_applications()))
     print("traces:      ", ", ".join(known_traces()))
     print("systems:     ", ", ".join(SYSTEM_FACTORIES))
     print("ablations:   ", ", ".join(sorted(ABLATIONS)))
@@ -444,9 +470,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--profile", type=int, default=0, metavar="N",
                          help="also cProfile one pass and print the top N "
                               "functions by cumulative time")
-    p_bench.add_argument("--out", default="BENCH_5.json", metavar="PATH",
+    p_bench.add_argument("--out", default="BENCH_7.json", metavar="PATH",
                          help="write the JSON report here (default: "
-                              "BENCH_5.json; empty string to skip)")
+                              "BENCH_7.json; empty string to skip)")
     p_bench.add_argument("--baseline", default=None, metavar="PATH",
                          help="earlier report to compute the speedup against")
     p_bench.add_argument("--scenarios", default="examples/scenarios",
@@ -463,6 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.add_argument(
         "--params", action="store_true",
         help="also print each policy's declared parameter schema",
+    )
+    p_list.add_argument(
+        "--llm", action="store_true",
+        help="show applications as a table with their profile kind "
+             "(llm vs fixed-duration)",
     )
     p_list.set_defaults(fn=cmd_list)
     return parser

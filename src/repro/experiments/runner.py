@@ -9,12 +9,14 @@ dropping policies react to.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from typing import Callable, Sequence
 
 from ..metrics.analysis import Summary, merge_collectors, summarize
 from ..metrics.collector import MetricsCollector
+from ..metrics.goodput import GoodputReport, GoodputSpec, goodput_report
 from ..pipeline.applications import Application, get_application
 from ..pipeline.profiles import DEFAULT_PROFILES, ProfileRegistry
 from ..policies.base import DropPolicy
@@ -25,6 +27,7 @@ from ..simulation.cluster import Cluster
 from ..simulation.engine import Simulator
 from ..simulation.failures import FailureEvent, FailureInjector
 from ..simulation.rng import RngStreams
+from ..simulation.routing import PathRouter
 from ..simulation.scaling import ReactiveScaler
 from ..simulation.tenancy import SharedCluster, Tenant
 from ..workload.generators import TRACES, get_trace
@@ -145,7 +148,7 @@ class ExperimentConfig:
             for m in app.spec.modules:
                 per_worker = self.registry.get(m.model).throughput(plan[m.id])
                 need = mean_rate / (0.97 * per_worker)
-                out[m.id] = max(1, int(need) + (0 if need == int(need) else 1))
+                out[m.id] = max(1, math.ceil(need))
             return out
         if trace is None:
             trace = self.resolve_trace()
@@ -213,6 +216,9 @@ class ExperimentResult:
     cluster: Cluster
     trace: Trace
     failure_log: list[str] = field(default_factory=list)
+    #: Goodput-under-constraints report; None unless the scenario (or
+    #: caller) declared token-level SLO constraints.
+    goodput: GoodputReport | None = None
 
     @property
     def module_ids(self) -> list[str]:
@@ -224,17 +230,25 @@ def build_cluster(
     policy: DropPolicy,
     trace: Trace | None = None,
     lean: bool = False,
+    goodput: GoodputSpec | None = None,
+    router: PathRouter | None = None,
 ) -> Cluster:
     """Construct the provisioned cluster for a config (no trace replayed).
 
     ``lean=True`` collects streaming summary counters only (no per-request
     records) — see :class:`~repro.metrics.collector.MetricsCollector`.
+    ``goodput`` arms the collector's token-SLO counters; ``router``
+    overrides static fan-out at DAG forks.
     """
     app = config.resolve_app()
     trace = trace or config.resolve_trace()
     plan = plan_batch_sizes(app.spec, config.registry, app.slo)
     workers = config.resolve_workers(trace)
     sim = Simulator()
+    metrics = (
+        MetricsCollector(lean=lean, goodput=goodput)
+        if (lean or goodput is not None) else None
+    )
     return Cluster(
         sim=sim,
         app=app,
@@ -242,10 +256,11 @@ def build_cluster(
         workers=workers,
         registry=config.registry,
         batch_plan=plan,
-        metrics=MetricsCollector(lean=True) if lean else None,
+        metrics=metrics,
         rng=RngStreams(seed=config.seed),
         sync_interval=config.sync_interval,
         stats_window=config.stats_window,
+        router=router,
     )
 
 
@@ -256,6 +271,8 @@ def run_experiment(
     scaling: ScalingSpec | None = None,
     trace: Trace | None = None,
     lean: bool = False,
+    goodput: GoodputSpec | None = None,
+    router: PathRouter | None = None,
 ) -> ExperimentResult:
     """Replay the configured trace through a freshly provisioned cluster.
 
@@ -274,7 +291,9 @@ def run_experiment(
         policy = make_policy(policy, config.seed)
     if trace is None:
         trace = config.resolve_trace()
-    cluster = build_cluster(config, policy, trace, lean=lean)
+    cluster = build_cluster(
+        config, policy, trace, lean=lean, goodput=goodput, router=router
+    )
     if scaling is None:
         scaling = ScalingSpec(enabled=config.scaling)
     if scaling.enabled:
@@ -296,6 +315,7 @@ def run_experiment(
         cluster=cluster,
         trace=trace,
         failure_log=list(injector.log) if injector is not None else [],
+        goodput=goodput_report(cluster.metrics, duration=trace.duration),
     )
 
 
@@ -365,6 +385,11 @@ def run_scenario(scenario: Scenario, lean: bool = False) -> ExperimentResult:
         scaling=scenario.scaling,
         trace=trace,
         lean=lean,
+        goodput=scenario.goodput,
+        router=(
+            None if scenario.router is None
+            else scenario.router.build(scenario.seed)
+        ),
     )
 
 
@@ -384,6 +409,9 @@ class MultiResult:
     cluster: SharedCluster
     traces: dict[str, Trace]
     failure_log: list[str] = field(default_factory=list)
+    #: Per-app goodput-under-constraints reports, keyed like ``summaries``;
+    #: tenants without declared constraints map to None.
+    goodputs: dict[str, GoodputReport | None] = field(default_factory=dict)
 
     @property
     def pool_ids(self) -> list[str]:
@@ -434,7 +462,7 @@ def _provision_pools(
         rate = sum(base_rates[tname] for tname, _ in pool.members)
         per_worker = registry.get(pool.model).throughput(batch)
         need = rate * multi.provision_headroom / per_worker
-        out[key] = max(1, int(need) + (0 if need == int(need) else 1))
+        out[key] = max(1, math.ceil(need))
     return out
 
 
@@ -467,7 +495,8 @@ def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
                 name=label,
                 app=app,
                 policy=make_policy(s.policy, seed),
-                metrics=MetricsCollector(lean=lean),
+                metrics=MetricsCollector(lean=lean, goodput=s.goodput),
+                router=None if s.router is None else s.router.build(seed),
                 batch_plan=plan_batch_sizes(app.spec, registry, app.slo),
             )
         )
@@ -516,6 +545,10 @@ def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
         name: summarize(coll, duration=traces[name].duration)
         for name, coll in collectors.items()
     }
+    goodputs = {
+        name: goodput_report(coll, duration=traces[name].duration)
+        for name, coll in collectors.items()
+    }
     aggregate = summarize(merge_collectors(collectors),
                           duration=multi.duration())
     return MultiResult(
@@ -526,6 +559,7 @@ def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
         cluster=cluster,
         traces=traces,
         failure_log=list(injector.log) if injector is not None else [],
+        goodputs=goodputs,
     )
 
 

@@ -30,19 +30,24 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from ..metrics.goodput import GoodputSpec
 from ..pipeline.applications import APPLICATIONS, Application, get_application
+from ..pipeline.llm_profiles import profile_from_dict, profile_to_dict
 from ..pipeline.profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
 from ..pipeline.spec import ModuleSpec, PipelineSpec, chain
 from ..policies.spec import PolicySpec
 from ..simulation.failures import FailureEvent
+from ..simulation.routing import PathRouter, ProbabilisticRouter, StaticRouter
 from ..workload.generators import TRACES, get_trace
 from ..workload.trace import Trace
 
 __all__ = [
     "AppSpec",
     "BurstSpec",
+    "GoodputSpec",
     "MultiScenario",
     "PolicySpec",
+    "RouterSpec",
     "Scenario",
     "ScalingSpec",
     "SweepSpec",
@@ -362,7 +367,7 @@ class AppSpec:
             self,
             "profiles",
             tuple(
-                p if isinstance(p, ModelProfile) else ModelProfile(**p)
+                p if isinstance(p, ModelProfile) else profile_from_dict(p)
                 for p in self.profiles
             ),
         )
@@ -439,13 +444,9 @@ class AppSpec:
                 for m in self.modules
             ],
             "slo": self.slo,
-            "profiles": [
-                {
-                    "name": p.name, "base": p.base,
-                    "per_item": p.per_item, "max_batch": p.max_batch,
-                }
-                for p in self.profiles
-            ],
+            # Either profile flavour: plain fixed-duration dicts or "llm"
+            # token-cost dicts (see repro.pipeline.llm_profiles).
+            "profiles": [profile_to_dict(p) for p in self.profiles],
         }
 
     @classmethod
@@ -456,12 +457,7 @@ class AppSpec:
             "app",
         )
         profiles = tuple(
-            ModelProfile(
-                name=str(p["name"]), base=float(p["base"]),
-                per_item=float(p["per_item"]),
-                max_batch=int(p.get("max_batch", 32)),
-            )
-            for p in data.get("profiles", [])
+            profile_from_dict(p) for p in data.get("profiles", [])
         )
         slo = None if data.get("slo") is None else float(data["slo"])
         if "chain" in data:
@@ -542,6 +538,66 @@ class ScalingSpec:
 
 
 @dataclass(frozen=True)
+class RouterSpec:
+    """Declarative fork routing for DAG pipelines.
+
+    ``kind="static"`` keeps the default fan-out-to-all semantics;
+    ``kind="probabilistic"`` picks exactly one successor per request at
+    every fork, weighted by ``weights`` (successor module id -> weight,
+    unlisted successors default to 1.0).  ``seed=None`` inherits the
+    scenario seed, so sweeping a scenario over seeds re-seeds its branch
+    choices too.  This is the serializable form of
+    :class:`~repro.simulation.routing.ProbabilisticRouter` — the paper's
+    request-specific dynamic paths (agentic RAG's retrieve -> rerank |
+    generate_direct split) declared as data.
+    """
+
+    kind: str = "static"
+    weights: tuple = ()  # frozen (module id, weight) pairs
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("static", "probabilistic"):
+            raise ValueError(
+                f"router kind must be 'static' or 'probabilistic', "
+                f"got {self.kind!r}"
+            )
+        raw = dict(self.weights)
+        if raw and self.kind == "static":
+            raise ValueError("a static router takes no weights")
+        for key, value in raw.items():
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"router weight for {key!r} must be > 0, got {value}"
+                )
+        object.__setattr__(self, "weights", _freeze(raw))
+
+    def build(self, default_seed: int = 0) -> PathRouter:
+        """Resolve to a live :class:`~repro.simulation.routing.PathRouter`."""
+        if self.kind == "static":
+            return StaticRouter()
+        seed = self.seed if self.seed is not None else default_seed
+        weights = {str(k): float(v) for k, v in self.weights}
+        return ProbabilisticRouter(weights or None, seed=seed)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "weights": {k: v for k, v in self.weights},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RouterSpec":
+        _check_keys(data, {"kind", "weights", "seed"}, "router")
+        return cls(
+            kind=str(data.get("kind", "static")),
+            weights=tuple(dict(data.get("weights", {})).items()),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One serializable spec from workload to failure injection.
 
@@ -565,6 +621,11 @@ class Scenario:
     scaling: ScalingSpec = field(default_factory=ScalingSpec)
     failures: tuple[FailureEvent, ...] = ()
     name: str = ""
+    #: Token-level SLO constraints (TTFT/TPOT/e2e); when any is declared
+    #: the run also produces a :class:`~repro.metrics.goodput.GoodputReport`.
+    goodput: GoodputSpec | None = None
+    #: Fork routing (None = static fan-out-to-all).
+    router: RouterSpec | None = None
 
     def __post_init__(self) -> None:
         # Accept dict forms for the nested specs too, mirroring how
@@ -581,6 +642,14 @@ class Scenario:
         if isinstance(self.scaling, dict):
             object.__setattr__(
                 self, "scaling", ScalingSpec.from_dict(self.scaling)
+            )
+        if isinstance(self.goodput, dict):
+            object.__setattr__(
+                self, "goodput", GoodputSpec.from_dict(self.goodput)
+            )
+        if isinstance(self.router, dict):
+            object.__setattr__(
+                self, "router", RouterSpec.from_dict(self.router)
             )
         if isinstance(self.workers, dict):
             for key, value in self.workers.items():
@@ -710,6 +779,15 @@ class Scenario:
         # was resolvable then; this pass is authoritative (the app resolved
         # two lines up, so module ids are definitely known here).
         self._check_targets(set(app.spec.module_ids))
+        if self.router is not None:
+            unknown = (
+                {k for k, _ in self.router.weights} - set(app.spec.module_ids)
+            )
+            if unknown:
+                raise ValueError(
+                    f"router weights reference unknown modules: "
+                    f"{sorted(unknown)}"
+                )
         return self
 
     # -- resolution --------------------------------------------------------
@@ -746,6 +824,8 @@ class Scenario:
             "scaling": self.scaling.to_dict(),
             "failures": [e.to_dict() for e in self.failures],
             "name": self.name,
+            "goodput": None if self.goodput is None else self.goodput.to_dict(),
+            "router": None if self.router is None else self.router.to_dict(),
         }
 
     @classmethod
@@ -756,6 +836,7 @@ class Scenario:
                 "app", "trace", "policy", "seed", "workers", "utilization",
                 "provision_rate", "provision_headroom", "sync_interval",
                 "stats_window", "drain", "scaling", "failures", "name",
+                "goodput", "router",
             },
             "scenario",
         )
@@ -786,6 +867,14 @@ class Scenario:
                 FailureEvent.from_dict(e) for e in data.get("failures", [])
             ),
             name=str(data.get("name", "")),
+            goodput=(
+                None if data.get("goodput") is None
+                else GoodputSpec.from_dict(data["goodput"])
+            ),
+            router=(
+                None if data.get("router") is None
+                else RouterSpec.from_dict(data["router"])
+            ),
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -1209,9 +1298,13 @@ def _apply_axis(
         return replace(spec, policy=spec.policy.with_params(**{param: value}))
     head, _, rest = axis.partition(".")
     if rest:
-        if head not in ("trace", "app", "scaling"):
+        if head not in ("trace", "app", "scaling", "goodput"):
             raise ValueError(f"unknown sweep axis {axis!r}")
         section = getattr(spec, head)
+        if section is None:
+            # goodput is optional on the base spec; a goodput.* axis
+            # starts from an all-unconstrained spec.
+            section = GoodputSpec()
         if rest not in {f.name for f in fields(section)}:
             raise ValueError(f"unknown sweep axis {axis!r}")
         return replace(spec, **{head: replace(section, **{rest: value})})

@@ -45,6 +45,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..metrics.analysis import Summary
 from ..metrics.collector import MetricsCollector
+from ..metrics.goodput import GoodputReport, goodput_report
 from .configs import standard_config
 from .runner import (
     ExperimentConfig,
@@ -155,6 +156,12 @@ class CellResult:
     #: Shared-cluster cells only: per-app summaries keyed by tenant label
     #: (``summary``/``collector`` then hold the aggregate across apps).
     per_app: dict[str, Summary] | None = None
+    #: Goodput-under-constraints report; set only when the scenario
+    #: declared token-level SLO constraints (aggregate for multi cells).
+    goodput: GoodputReport | None = None
+    #: Shared-cluster cells: per-app goodput reports for tenants that
+    #: declared constraints.
+    per_app_goodput: dict[str, GoodputReport] | None = None
 
     @property
     def ok(self) -> bool:
@@ -429,14 +436,25 @@ def execute_cell(cell: SweepCell) -> CellResult:
             multi = run_multi_scenario(cell.multi, lean=cell.lean)
             from ..metrics.analysis import merge_collectors
 
+            merged = merge_collectors(multi.collectors)
+            per_app_goodput = {
+                name: report
+                for name, report in multi.goodputs.items()
+                if report is not None
+            }
             return CellResult(
                 cell=cell,
                 policy_name=cell.policy,
                 summary=multi.aggregate,
-                collector=merge_collectors(multi.collectors),
+                collector=merged,
                 module_ids=list(multi.pool_ids),
                 elapsed=time.perf_counter() - t0,
                 per_app=dict(multi.summaries),
+                # The aggregate report exists only when every tenant
+                # declares the same constraints (merge propagates the spec
+                # iff unanimous).
+                goodput=goodput_report(merged, duration=multi.multi.duration()),
+                per_app_goodput=per_app_goodput or None,
             )
         if cell.scenario is not None:
             result = run_scenario(cell.scenario, lean=cell.lean)
@@ -449,6 +467,7 @@ def execute_cell(cell: SweepCell) -> CellResult:
             collector=result.collector,
             module_ids=list(result.module_ids),
             elapsed=time.perf_counter() - t0,
+            goodput=result.goodput,
         )
     except Exception:
         return CellResult(
@@ -582,6 +601,15 @@ def summaries_payload(results: Sequence[CellResult]) -> list[dict]:
             if r.per_app:
                 entry["per_app"] = {
                     app: asdict(s) for app, s in r.per_app.items()
+                }
+            # Optional keys, present only when constraints were declared —
+            # payloads of constraint-free sweeps are byte-identical to
+            # those written before goodput existed.
+            if r.goodput is not None:
+                entry["goodput"] = r.goodput.to_dict()
+            if r.per_app_goodput:
+                entry["per_app_goodput"] = {
+                    app: g.to_dict() for app, g in r.per_app_goodput.items()
                 }
         else:
             entry["error"] = (r.error or "").strip().splitlines()[-1:] or ["?"]

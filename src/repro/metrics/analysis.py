@@ -117,9 +117,20 @@ def merge_collectors(
     else:
         parts = list(collectors)
     merged = MetricsCollector()
+    # The aggregate only carries a goodput spec when every part declares
+    # the same one; the counters are additive either way (each part's
+    # requests were judged against that part's own constraints).
+    specs = {c.goodput for c in parts if c.goodput is not None}
+    if len(specs) == 1:
+        merged.goodput = specs.pop()
     for collector in parts:
         merged.records.extend(collector.records)
         merged.submitted += collector.submitted
+        merged.gp_good += collector.gp_good
+        merged.gp_ttft_met += collector.gp_ttft_met
+        merged.gp_tpot_met += collector.gp_tpot_met
+        merged.gp_e2e_met += collector.gp_e2e_met
+        merged.gp_tokens_out += collector.gp_tokens_out
         if not collector.lean and len(collector.records) == collector.count:
             # Fold record by record: the aggregate's float totals then
             # accumulate in exactly the concatenation order a full scan

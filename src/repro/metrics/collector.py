@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..simulation.request import DropReason, Request, RequestStatus
+from .goodput import GoodputSpec, constraint_checks
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +39,10 @@ class RequestRecord:
     dropped_at_module: str | None
     drop_reason: DropReason | None
     visits: tuple[VisitRecord, ...] = field(default_factory=tuple)
+    # Token-level (LLM) outcomes; defaults keep fixed-duration records lean.
+    first_token_at: float | None = None
+    last_token_at: float | None = None
+    tokens_out: int = 0
 
     @property
     def latency(self) -> float:
@@ -88,7 +93,9 @@ class MetricsCollector:
     drop shares and latency CDFs need full records and are unavailable.
     """
 
-    def __init__(self, lean: bool = False) -> None:
+    def __init__(
+        self, lean: bool = False, goodput: GoodputSpec | None = None
+    ) -> None:
         self.records: list[RequestRecord] = []
         self.lean = lean
         self.submitted = 0
@@ -101,6 +108,15 @@ class MetricsCollector:
         self.wasted_gpu_total = 0.0
         self.first_sent = float("inf")
         self.last_sent = float("-inf")
+        # Goodput-under-constraints counters, evaluated per terminal
+        # request against the declared spec (None = no constraints; the
+        # counters stay zero and goodput_report() returns None).
+        self.goodput = goodput
+        self.gp_good = 0
+        self.gp_ttft_met = 0
+        self.gp_tpot_met = 0
+        self.gp_e2e_met = 0
+        self.gp_tokens_out = 0
 
     def record_submitted(self) -> None:
         self.submitted += 1
@@ -128,6 +144,15 @@ class MetricsCollector:
             self.first_sent = sent_at
         if sent_at > self.last_sent:
             self.last_sent = sent_at
+        gp = self.goodput
+        if gp is not None and gp.declared:
+            self.gp_tokens_out += request.tokens_out
+            if status is RequestStatus.COMPLETED:
+                ttft_ok, tpot_ok, e2e_ok = constraint_checks(gp, request)
+                self.gp_ttft_met += ttft_ok
+                self.gp_tpot_met += tpot_ok
+                self.gp_e2e_met += e2e_ok
+                self.gp_good += ttft_ok and tpot_ok and e2e_ok
         if self.lean:
             return
         self.records.append(
@@ -142,6 +167,9 @@ class MetricsCollector:
                 dropped_at_module=request.dropped_at_module,
                 drop_reason=request.drop_reason,
                 visits=_visit_records(request),
+                first_token_at=request.first_token_at,
+                last_token_at=request.last_token_at,
+                tokens_out=request.tokens_out,
             )
         )
 

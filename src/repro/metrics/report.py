@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from .analysis import Summary, drops_per_module
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..experiments.runner import ExperimentResult, MultiResult
+    from .goodput import GoodputReport
 
 
 def format_table(
@@ -100,6 +101,48 @@ def per_app_table(
             str(s.good),
             str(s.total),
         ])
+    return format_table(headers, rows, markdown=markdown)
+
+
+def goodput_table(
+    reports: "Mapping[str, GoodputReport]", markdown: bool = False
+) -> str:
+    """Goodput-under-constraints breakdown (one row per policy or app).
+
+    Constraint columns appear only for metrics at least one row declares,
+    showing ``met/completed`` against the declared bound (``-`` for rows
+    without that constraint).
+    """
+    reports = {k: v for k, v in reports.items() if v is not None}
+    if not reports:
+        raise ValueError("no goodput reports to tabulate")
+    show = {
+        metric: any(getattr(r.spec, metric) is not None for r in reports.values())
+        for metric in ("ttft", "tpot", "e2e")
+    }
+    headers = ["", "good", "good %", "goodput (req/s)", "tokens"]
+    for metric in ("ttft", "tpot", "e2e"):
+        if show[metric]:
+            headers.append(f"{metric} met")
+    rows = []
+    for label, r in reports.items():
+        row = [
+            label,
+            f"{r.good}/{r.total}",
+            pct(r.good_fraction),
+            f"{r.goodput:.1f}",
+            str(r.tokens_out),
+        ]
+        for metric in ("ttft", "tpot", "e2e"):
+            if not show[metric]:
+                continue
+            bound = getattr(r.spec, metric)
+            if bound is None:
+                row.append("-")
+            else:
+                met = getattr(r, f"{metric}_met")
+                row.append(f"{met}/{r.completed} @{bound:g}s")
+        rows.append(row)
     return format_table(headers, rows, markdown=markdown)
 
 

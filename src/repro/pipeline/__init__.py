@@ -11,6 +11,16 @@ from .applications import (
     register_application,
     tm,
 )
+from .llm_profiles import (
+    LLM_PROFILES,
+    LLMProfile,
+    TokenDist,
+    is_llm_application,
+    llm_chat,
+    profile_from_dict,
+    profile_to_dict,
+    rag_agentic,
+)
 from .profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
 from .spec import ModuleSpec, PipelineSpec, chain
 
@@ -18,16 +28,24 @@ __all__ = [
     "APPLICATIONS",
     "Application",
     "DEFAULT_PROFILES",
+    "LLMProfile",
+    "LLM_PROFILES",
     "ModelProfile",
     "ModuleSpec",
     "PipelineSpec",
     "ProfileRegistry",
+    "TokenDist",
     "chain",
     "da",
     "get_application",
     "gm",
+    "is_llm_application",
     "known_applications",
+    "llm_chat",
     "lv",
+    "profile_from_dict",
+    "profile_to_dict",
+    "rag_agentic",
     "register_application",
     "tm",
 ]

@@ -11,6 +11,8 @@ smaller because the GPU never idles waiting for work.
 
 from __future__ import annotations
 
+import math
+
 from ..pipeline.profiles import ModelProfile, ProfileRegistry
 from ..pipeline.spec import PipelineSpec
 
@@ -75,5 +77,5 @@ def provision_workers(
         profile = registry.get(m.model)
         per_worker = profile.throughput(batch_plan[m.id])
         need = rate * headroom / per_worker
-        out[m.id] = max(1, int(need) + (0 if need == int(need) else 1))
+        out[m.id] = max(1, math.ceil(need))
     return out

@@ -1,0 +1,308 @@
+"""LLMWorker: iteration-level continuous batching with a KV-cache budget.
+
+Where the base :class:`~repro.simulation.worker.Worker` executes fixed
+batches back-to-back, an LLM engine interleaves *iterations*: each engine
+step first admits queued requests into the running batch, then executes
+either one prefill iteration (over the newly admitted requests' prompt
+tokens, emitting each one's first output token) or one decode iteration
+(appending one token to every running request), and retires requests
+whose sampled output length is exhausted.  Iteration durations come from
+the module's :class:`~repro.pipeline.llm_profiles.LLMProfile`.
+
+The KV cache is a schedulable resource.  Every admitted request holds a
+token reservation against the profile's per-worker ``kv_capacity``:
+
+* **block mode** (default): ``prompt + output`` tokens are reserved at
+  admission, and admission simply blocks while the cache is full — the
+  policy layer sees memory pressure as queueing delay, nothing else.
+* **preempt mode** (``profile.preempt=True``): only ``prompt +
+  generated`` tokens are reserved, the reservation grows one token per
+  decode, and when the cache fills the most recently admitted request is
+  preempted back to the head of the admission buffer (keeping its
+  generated-token count; its KV is conceptually swapped out).
+
+Contract compatibility: the worker keeps the base class's ``queue`` /
+``forming`` / ``executing`` surface, so dispatchers, draining, scaling
+and :class:`~repro.simulation.failures.FailureInjector` stranding work
+unchanged.  ``forming`` holds requests popped from the queue but blocked
+on cache space (plus preempted requests awaiting resume); ``executing``
+is a :class:`~repro.simulation.worker.Batch` spanning the current
+iteration whose ``requests`` list every running sequence, so a worker
+failure strands *all* of them (their per-worker KV state dies with the
+worker, and generation restarts from scratch on re-dispatch — the sampled
+token lengths on the visit are sticky, so the replay is deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..pipeline.llm_profiles import LLMProfile
+from .request import DropReason, Request, RequestStatus
+from .worker import Batch, Worker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .module import Module
+
+
+class LLMWorker(Worker):
+    """One GPU running continuous batching for a token-level module."""
+
+    __slots__ = ("kv_used", "_running", "_reserved", "_generated", "_need_prefill")
+
+    def __init__(self, module: "Module", worker_id: int) -> None:
+        if not isinstance(module.profile, LLMProfile):
+            raise TypeError(
+                f"module {module.spec.id!r}: LLMWorker needs an LLMProfile, "
+                f"got {type(module.profile).__name__}"
+            )
+        super().__init__(module, worker_id)
+        self.kv_used = 0
+        self._running: list[Request] = []  # admitted, KV-resident sequences
+        self._reserved: dict[int, int] = {}  # rid -> reserved cache tokens
+        self._generated: dict[int, int] = {}  # rid -> output tokens produced
+        self._need_prefill: list[Request] = []  # admitted but not yet prefilled
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        return len(self.queue) + len(self.forming) + len(self._running)
+
+    @property
+    def idle(self) -> bool:
+        return (
+            self.executing is None
+            and not self._running
+            and not self.forming
+            and len(self.queue) == 0
+        )
+
+    # -- request flow -------------------------------------------------------
+
+    def _sample_tokens(self, request: Request) -> None:
+        """Sample prompt/output lengths once per request per module.
+
+        Drawn from the cluster's named RNG stream in dispatch order, so
+        lengths are deterministic for a given scenario seed and sticky
+        across failure re-dispatch (0 is the not-sampled sentinel; draws
+        are clamped >= 1).
+        """
+        module = self.module
+        visit = request.visits[module.spec.id]
+        if visit.prompt_tokens:
+            return
+        profile = module.profile
+        rng = module.cluster.rng.stream(f"llm:{module.spec.id}")
+        visit.prompt_tokens = profile.prompt_dist.sample(rng)
+        visit.output_tokens = profile.output_dist.sample(rng)
+
+    def enqueue(self, request: Request) -> None:
+        """Accept a dispatched request and advance the engine if idle."""
+        self._sample_tokens(request)
+        self.queue.push(request, self.sim.now)
+        if self.executing is None:
+            self._step()
+
+    def _release(self, rid: int) -> None:
+        self.kv_used -= self._reserved.pop(rid, 0)
+
+    def _purge(self) -> None:
+        """Evict sequences a sibling branch already dropped (free their KV)."""
+        in_flight = RequestStatus.IN_FLIGHT
+        running = self._running
+        if all(r.status is in_flight for r in running):
+            return
+        keep = []
+        for r in running:
+            if r.status is in_flight:
+                keep.append(r)
+            else:
+                self.telemetry.skipped_cancelled += 1
+                self._release(r.rid)
+                self._generated.pop(r.rid, None)
+        self._running = keep
+        self._need_prefill = [
+            r for r in self._need_prefill if r.status is in_flight
+        ]
+
+    def _admit(self, now: float) -> None:
+        """Move queued requests into the running batch.
+
+        Each *fresh* request gets its once-only drop decision here (t_b);
+        resumed preemptions were decided at first admission.  Admission
+        stops at the module's target batch (max concurrent sequences) or
+        when the next request's KV reservation does not fit — blocked
+        requests wait in ``forming`` in FIFO order so memory pressure
+        surfaces as queueing delay, never reordering.
+        """
+        module = self.module
+        profile = module.profile
+        target = module.target_batch
+        running = self._running
+        capacity = profile.kv_capacity
+        block = not profile.preempt
+        module_id = module.spec.id
+        in_flight = RequestStatus.IN_FLIGHT
+        stats = module.stats
+        ctx = self._ctx
+        ctx.now = now
+        forming = self.forming
+        while len(running) < target:
+            if forming:
+                request = forming[0]
+                from_forming = True
+            else:
+                from_forming = False
+                request = self.queue.pop(now)
+                if request is None:
+                    break
+            if request.status is not in_flight:
+                if from_forming:
+                    forming.pop(0)
+                self.telemetry.skipped_cancelled += 1
+                continue
+            self._sample_tokens(request)  # parked arrivals skip enqueue()
+            visit = request.visits[module_id]
+            worst = visit.prompt_tokens + visit.output_tokens
+            generated = self._generated.get(request.rid)
+            if worst > capacity:
+                # Could never fit even on an empty cache: reject outright
+                # rather than wedging the worker behind it forever.
+                if from_forming:
+                    forming.pop(0)
+                visit.t_batched = now
+                visit.worker_id = self.worker_id
+                stats.queue_delays.record(now, now - visit.t_received)
+                self.telemetry.dropped_requests += 1
+                stats.record_drop()
+                module.cluster.drop(
+                    request, module_id, DropReason.ADMISSION_CONTROL
+                )
+                continue
+            # Fresh sequences in preempt mode reserve prompt + the first
+            # token prefill will emit; block mode reserves the worst case.
+            need = worst if block else visit.prompt_tokens + (generated or 1)
+            if self.kv_used + need > capacity:
+                if not from_forming:
+                    forming.append(request)
+                break
+            if from_forming:
+                forming.pop(0)
+            if generated is None:
+                ctx.request = request
+                ctx.expected_start = now
+                ctx.batch_duration = profile.request_estimate(
+                    visit.prompt_tokens, visit.output_tokens, len(running) + 1
+                )
+                ctx.slo = request.slo
+                visit.t_batched = now
+                visit.worker_id = self.worker_id
+                stats.queue_delays.record(now, now - visit.t_received)
+                reason = module.policy.should_drop(ctx)
+                if reason is not None:
+                    self.telemetry.dropped_requests += 1
+                    stats.record_drop()
+                    module.cluster.drop(request, module_id, reason)
+                    continue
+                stats.batch_waits.record(now, 0.0)
+                self._need_prefill.append(request)
+            self.kv_used += need
+            self._reserved[request.rid] = need
+            running.append(request)
+
+    def _grow_reservations(self) -> None:
+        """Preempt mode: reserve one more token per sequence before a
+        decode iteration, preempting the most recently admitted sequences
+        while the cache cannot hold the growth (at least one sequence
+        always keeps making progress)."""
+        running = self._running
+        capacity = self.module.profile.kv_capacity
+        while len(running) > 1 and self.kv_used + len(running) > capacity:
+            victim = running.pop()
+            self._release(victim.rid)
+            self.forming.insert(0, victim)
+        for r in running:
+            self._reserved[r.rid] += 1
+        self.kv_used += len(running)
+
+    def _step(self) -> None:
+        """Run one continuous-batching engine iteration."""
+        if self.executing is not None:
+            return
+        now = self.sim.now
+        self._purge()
+        self._admit(now)
+        running = self._running
+        if not running:
+            if self.draining and self.idle:
+                self.module.reap(self)
+            return
+        module = self.module
+        profile = module.profile
+        if self._need_prefill:
+            prefill_seqs = self._need_prefill
+            self._need_prefill = []
+            module_id = module.spec.id
+            total_prompt = sum(
+                r.visits[module_id].prompt_tokens for r in prefill_seqs
+            )
+            duration = profile.prefill_duration(total_prompt)
+        else:
+            prefill_seqs = None
+            if profile.preempt:
+                self._grow_reservations()
+            duration = profile.decode_duration(len(running))
+        batch = Batch(requests=list(running), start=now, end=now + duration)
+        self.executing = batch
+        self.telemetry.batches += 1
+        self.telemetry.busy_time += duration
+        module.stats.record_batch(now, batch.size)
+        self.sim.schedule(batch.end, self._finish_step, batch, prefill_seqs)
+
+    def _finish_step(
+        self, batch: Batch, prefill_seqs: list[Request] | None
+    ) -> None:
+        """One iteration finished: emit tokens, retire exhausted sequences."""
+        if batch.aborted:
+            return  # the worker died mid-iteration (failure injection)
+        now = self.sim.now
+        module = self.module
+        module_id = module.spec.id
+        in_flight = RequestStatus.IN_FLIGHT
+        source = prefill_seqs if prefill_seqs is not None else batch.requests
+        producers = [r for r in source if r.status is in_flight]
+        retired: list[Request] = []
+        if producers:
+            share = (batch.end - batch.start) / len(producers)
+            for request in producers:
+                visit = request.visits[module_id]
+                if visit.t_exec_start is None:
+                    visit.t_exec_start = batch.start
+                    visit.batch_size = batch.size
+                visit.gpu_time += share
+                generated = self._generated.get(request.rid, 0) + 1
+                self._generated[request.rid] = generated
+                if request.first_token_at is None:
+                    request.first_token_at = now
+                request.last_token_at = now
+                request.tokens_out += 1
+                if generated >= visit.output_tokens:
+                    # Last token: free the KV reservation and retire.
+                    visit.t_exec_end = now
+                    self._release(request.rid)
+                    self._generated.pop(request.rid, None)
+                    self._running.remove(request)
+                    self.telemetry.executed_requests += 1
+                    retired.append(request)
+        # Forward retirees only after all engine bookkeeping is settled:
+        # on_module_done can synchronously re-enter this worker (a shared
+        # pool serving consecutive pipeline modules dispatches right back),
+        # which must observe a consistent running set.  The iteration stays
+        # marked as executing until here so a re-entrant enqueue defers to
+        # the _step below instead of starting a conflicting one.
+        self.executing = None
+        on_module_done = module.cluster.on_module_done
+        for request in retired:
+            on_module_done(request, module)
+        self._step()

@@ -11,9 +11,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..interfaces import DropPolicy
+from ..pipeline.llm_profiles import LLMProfile
 from ..pipeline.profiles import ModelProfile
 from ..pipeline.spec import ModuleSpec
 from .dispatcher import Dispatcher, LeastLoadedDispatcher
+from .llm import LLMWorker
 from .request import Request, RequestStatus
 from .stats import ModuleStats
 from .worker import Worker
@@ -73,7 +75,10 @@ class Module:
     # -- capacity -----------------------------------------------------------
 
     def _add_worker(self) -> Worker:
-        worker = Worker(self, self._next_worker_id)
+        # The single worker-factory seam: token-level profiles get the
+        # continuous-batching engine, everything else the batch worker.
+        cls = LLMWorker if isinstance(self.profile, LLMProfile) else Worker
+        worker = cls(self, self._next_worker_id)
         self._next_worker_id += 1
         self.workers.append(worker)
         return worker

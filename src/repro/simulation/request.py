@@ -49,6 +49,11 @@ class ModuleVisit:
     batch_size: int = 0
     worker_id: int = -1
     gpu_time: float = 0.0  # this request's share of the batch GPU time
+    # Token-level modules (LLMWorker) only; 0 = not sampled yet.  Sticky
+    # across failure re-dispatch: the lengths are part of the request's
+    # identity, not of one execution attempt.
+    prompt_tokens: int = 0
+    output_tokens: int = 0  # sampled target output length
 
     @property
     def queueing_delay(self) -> float:
@@ -97,6 +102,13 @@ class Request:
     dropped_at_module: str | None = None
     drop_reason: DropReason | None = None
     dropped_at_time: float | None = None
+    # Client-observed token stream (token-level modules only).  first_
+    # token_at is the earliest token of the whole pipeline (TTFT input);
+    # tokens_out counts every streamed token, including ones produced by
+    # an execution attempt a failure later aborted.
+    first_token_at: float | None = None
+    last_token_at: float | None = None
+    tokens_out: int = 0
 
     @property
     def deadline(self) -> float:

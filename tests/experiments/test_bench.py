@@ -89,10 +89,10 @@ class TestReport:
 
 
 class TestWorkloadDeclarations:
-    def test_three_canonical_kinds(self):
+    def test_four_canonical_kinds(self):
         workloads = bench_workloads(quick=True)
-        assert [w.kind for w in workloads] == ["single", "multi", "sweep"]
-        sweep = workloads[-1]
+        assert [w.kind for w in workloads] == ["single", "multi", "sweep", "llm"]
+        sweep = workloads[2]
         assert sweep.cells == 8  # four apps x two policies
 
     def test_quick_multi_runs_end_to_end(self):

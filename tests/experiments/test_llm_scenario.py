@@ -1,0 +1,179 @@
+"""Scenario-layer tests for the LLM serving family.
+
+Covers the two schema additions this family rides on — declarative
+goodput constraints (:class:`GoodputSpec`) and declarative fork routing
+(:class:`RouterSpec`) — plus end-to-end runs that thread them through
+the runner into per-app :class:`GoodputReport` objects and the sweep's
+summaries payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_multi_scenario, run_scenario
+from repro.experiments.scenario import (
+    GoodputSpec,
+    MultiScenario,
+    RouterSpec,
+    Scenario,
+    scenario_axes,
+)
+from repro.simulation.routing import ProbabilisticRouter, StaticRouter
+
+
+def chat_scenario(**overrides) -> Scenario:
+    fields = dict(
+        name="chat",
+        app={"name": "llm-chat"},
+        trace={"name": "poisson", "duration": 4, "base_rate": 10},
+        policy="PARD",
+        workers=1,
+        seed=0,
+        goodput={"ttft": 1.0, "e2e": 8.0},
+    )
+    fields.update(overrides)
+    return Scenario.from_dict(fields)
+
+
+class TestRouterSpec:
+    def test_round_trip(self):
+        spec = RouterSpec(
+            kind="probabilistic", weights={"a": 0.6, "b": 0.4}, seed=3
+        )
+        assert RouterSpec.from_dict(spec.to_dict()) == spec
+
+    def test_static_rejects_weights(self):
+        with pytest.raises(ValueError):
+            RouterSpec(kind="static", weights={"a": 1.0})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RouterSpec(kind="random")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RouterSpec(kind="probabilistic", weights={"a": 0.0})
+
+    def test_build_resolves_kind_and_inherits_seed(self):
+        assert isinstance(RouterSpec().build(), StaticRouter)
+        prob = RouterSpec(kind="probabilistic", weights={"a": 1.0})
+        assert isinstance(prob.build(default_seed=7), ProbabilisticRouter)
+
+    def test_validate_rejects_unknown_weight_module(self):
+        scenario = chat_scenario(
+            app={"name": "rag-agentic"},
+            router={
+                "kind": "probabilistic",
+                "weights": {"no_such_module": 1.0},
+            },
+        )
+        with pytest.raises(ValueError, match="no_such_module"):
+            scenario.validate()
+
+
+class TestScenarioSchema:
+    def test_legacy_dicts_default_to_none(self):
+        scenario = Scenario.from_dict(
+            {"app": {"name": "tm"}, "policy": "Naive"}
+        )
+        assert scenario.goodput is None
+        assert scenario.router is None
+
+    def test_goodput_round_trips_through_dict(self):
+        scenario = chat_scenario()
+        again = Scenario.from_dict(scenario.to_dict())
+        assert again == scenario
+        assert again.goodput == GoodputSpec(ttft=1.0, e2e=8.0)
+        assert again.fingerprint() == scenario.fingerprint()
+
+    def test_goodput_axis_sweeps_from_none_base(self):
+        base = chat_scenario(goodput=None)
+        cells = scenario_axes(base, {"goodput.ttft": [0.2, 0.4]})
+        assert [s.goodput.ttft for s in cells] == [0.2, 0.4]
+        # Sweeping a constraint must change the cache identity.
+        assert cells[0].fingerprint() != cells[1].fingerprint()
+
+
+class TestRunnerThreading:
+    def test_single_scenario_yields_goodput_report(self):
+        result = run_scenario(chat_scenario())
+        assert result.goodput is not None
+        assert result.goodput.total == result.summary.total > 0
+        assert result.goodput.tokens_out > 0
+
+    def test_no_constraints_no_report(self):
+        result = run_scenario(chat_scenario(goodput=None))
+        assert result.goodput is None
+
+    def test_multi_scenario_reports_per_app(self):
+        multi = MultiScenario.from_dict(
+            {
+                "name": "mix",
+                "seed": 0,
+                "tenants": [
+                    {
+                        "weight": 1.0,
+                        "scenario": chat_scenario(workers=None).to_dict(),
+                    },
+                    {
+                        "weight": 1.0,
+                        "scenario": chat_scenario(
+                            name="plain",
+                            app={"name": "tm"},
+                            goodput=None,
+                            workers=None,
+                        ).to_dict(),
+                    },
+                ],
+            }
+        )
+        result = run_multi_scenario(multi)
+        assert result.goodputs["chat"] is not None
+        assert result.goodputs["chat"].total > 0
+        assert result.goodputs["plain"] is None
+
+    def test_router_branches_exclusively(self):
+        """With a probabilistic router each RAG request takes exactly one
+        branch, so no record visits both generate and generate_direct."""
+        result = run_scenario(
+            chat_scenario(
+                name="rag",
+                app={"name": "rag-agentic"},
+                router={
+                    "kind": "probabilistic",
+                    "weights": {"rerank": 0.5, "generate_direct": 0.5},
+                },
+                goodput=None,
+            )
+        )
+        branch_counts = {"generate": 0, "generate_direct": 0}
+        for record in result.cluster.metrics.records:
+            visited = {v.module_id for v in record.visits}
+            assert not ({"generate", "generate_direct"} <= visited)
+            for branch in branch_counts:
+                if branch in visited:
+                    branch_counts[branch] += 1
+        # Both branches are actually exercised at these weights.
+        assert all(c > 0 for c in branch_counts.values())
+
+
+class TestSummariesPayload:
+    def test_goodput_appears_only_when_declared(self):
+        from repro.experiments.sweep import (
+            run_sweep,
+            scenario_cells,
+            summaries_text,
+        )
+
+        with_spec = run_sweep(
+            scenario_cells([chat_scenario()]), workers=1, cache_dir=None
+        )
+        without = run_sweep(
+            scenario_cells([chat_scenario(goodput=None)]),
+            workers=1,
+            cache_dir=None,
+        )
+        assert '"spec"' in summaries_text(with_spec)
+        assert '"ttft_met"' in summaries_text(with_spec)
+        assert '"ttft_met"' not in summaries_text(without)

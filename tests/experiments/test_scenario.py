@@ -624,4 +624,6 @@ class TestRegistries:
 
     def test_system_factories_still_the_four_systems(self):
         assert set(SYSTEM_FACTORIES) == {"PARD", "Nexus", "Clipper++", "Naive"}
-        assert set(APPLICATIONS) == {"tm", "lv", "gm", "da"}
+        assert set(APPLICATIONS) == {
+            "tm", "lv", "gm", "da", "llm-chat", "rag-agentic",
+        }

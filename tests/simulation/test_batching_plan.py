@@ -82,6 +82,26 @@ class TestProvisioning:
                 cap = module_throughput(reg.get(model), plan[mid], n - 1)
                 assert cap < 200.0  # one fewer would not suffice
 
+    def test_ceiling_regression_exact_and_fractional_need(self):
+        """Ceiling regression: an exact-integer worker need must not be
+        over-provisioned, while any fractional need rounds up.
+
+        Power-of-two costs make the division exact: one worker at batch 1
+        serves 1 / (0.25 + 0.25) = 2 req/s precisely.
+        """
+        exact = ProfileRegistry(
+            [ModelProfile("exact", base=0.25, per_item=0.25, max_batch=4)]
+        )
+        pipeline = chain("p", ["exact"])
+        plan = {"m1": 1}
+        assert module_throughput(exact.get("exact"), 1, 1) == 2.0
+        # need = 3.0 exactly -> 3 workers, not 4.
+        assert provision_workers(pipeline, exact, plan, rate=6.0) == {"m1": 3}
+        # need = 2.5 -> rounds up to 3.
+        assert provision_workers(pipeline, exact, plan, rate=5.0) == {"m1": 3}
+        # need = 0.5 -> floor of one worker.
+        assert provision_workers(pipeline, exact, plan, rate=1.0) == {"m1": 1}
+
     def test_zero_rate_rejected(self):
         reg = registry()
         plan = plan_batch_sizes(spec(), reg, slo=0.40)

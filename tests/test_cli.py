@@ -380,3 +380,59 @@ class TestPolicySpecCommands:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "s0" in out and "s1" in out
+
+
+LLM_SCENARIO = {
+    "name": "cli-llm",
+    "app": {"name": "llm-chat"},
+    "trace": {"name": "poisson", "base_rate": 10, "duration": 4},
+    "policy": "PARD",
+    "workers": 1,
+    "goodput": {"ttft": 1.0, "e2e": 8.0},
+}
+
+
+class TestLlmCommands:
+    def scenario_file(self, tmp_path, spec=None):
+        path = tmp_path / "llm.json"
+        path.write_text(json.dumps(spec or LLM_SCENARIO))
+        return str(path)
+
+    def test_list_llm_shows_profile_kind_column(self, capsys):
+        assert main(["list", "--llm"]) == 0
+        out = capsys.readouterr().out
+        assert "profile kind" in out
+        # LLM apps are flagged, fixed-duration apps are not.
+        assert "llm-chat" in out and "rag-agentic" in out
+        for line in out.splitlines():
+            if line.startswith("llm-chat") or line.startswith("rag-agentic"):
+                assert " llm " in f" {line} "
+            elif line.startswith("tm "):
+                assert "fixed" in line
+
+    def test_scenario_run_prints_goodput_table(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--file", self.scenario_file(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "goodput under declared SLO constraints" in out
+        assert "ttft met" in out and "e2e met" in out
+
+    def test_scenario_run_no_constraints_no_goodput_table(self, capsys, tmp_path):
+        spec = {k: v for k, v in LLM_SCENARIO.items() if k != "goodput"}
+        rc = main(["scenario", "run",
+                   "--file", self.scenario_file(tmp_path, spec)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "goodput under declared SLO constraints" not in out
+
+    def test_llm_serving_example_prints_per_app_goodput(self, capsys):
+        from pathlib import Path
+
+        example = (Path(__file__).resolve().parent.parent
+                   / "examples" / "scenarios" / "llm_serving.json")
+        rc = main(["scenario", "run", "--file", str(example)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "goodput under declared SLO constraints" in out
+        assert "chat" in out and "rag" in out
+        assert "tpot met" in out
