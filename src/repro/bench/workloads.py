@@ -18,6 +18,11 @@ the simulator:
   the agentic RAG pipeline: iteration-level continuous batching, KV-cache
   reservations and token-SLO goodput accounting on the hot path.  Skipped
   automatically on checkouts that predate the LLM applications.
+* **million-request** — one heavily overloaded chain replaying a
+  *streaming* constant trace (one million arrivals at full fidelity):
+  measures the lazy arrival pipeline end to end, where the old eager
+  replay would pre-schedule a million heap events before t=0.  Skipped
+  on checkouts that predate streaming traces.
 
 Workloads are declared as plain scenario dicts — the same schema scenario
 files use — so the harness is self-contained and runs unmodified against
@@ -39,8 +44,14 @@ from ..experiments.scenario import (
 )
 
 #: Trace seconds per workload: full fidelity vs ``--quick``.
-_FULL = {"single": 30.0, "multi": 20.0, "sweep": 15.0, "llm": 15.0}
-_QUICK = {"single": 10.0, "multi": 8.0, "sweep": 6.0, "llm": 6.0}
+_FULL = {"single": 30.0, "multi": 20.0, "sweep": 15.0, "llm": 15.0,
+         "million": 200.0}
+_QUICK = {"single": 10.0, "multi": 8.0, "sweep": 6.0, "llm": 6.0,
+          "million": 20.0}
+
+#: Constant arrival rate of the million-request workload: 5000 req/s x
+#: 200 s = one million arrivals at full fidelity (100k under --quick).
+_MILLION_RATE = 5000.0
 
 
 def _single_dag(duration: float) -> dict:
@@ -154,10 +165,43 @@ def _llm_serving(duration: float) -> dict:
     }
 
 
+def _million_request(duration: float) -> dict:
+    return {
+        "name": "bench-million-request",
+        "app": {"name": "tm"},
+        "trace": {
+            "name": "constant",
+            "duration": duration,
+            "base_rate": _MILLION_RATE,
+            "stream": True,
+        },
+        # Deliberately overloaded at fixed provisioning: the run exercises
+        # per-arrival admission and proactive dropping at full stream rate
+        # without letting queues (and memory) grow with the backlog.
+        "policy": "PARD",
+        "workers": 8,
+        "seed": 0,
+    }
+
+
 #: ``run_scenario`` grew a ``lean`` keyword in this PR; detect it so the
 #: identical harness also runs against pre-lean checkouts when measuring
 #: a baseline (falling back to full collection — their real cost).
 _SUPPORTS_LEAN = "lean" in inspect.signature(run_scenario).parameters
+
+
+def _supports_streaming() -> bool:
+    """True when the installed package knows streaming trace specs.
+
+    Baseline checkouts without the lazy arrival pipeline reject the
+    ``stream`` key at parse time; the million-request workload is simply
+    absent there.
+    """
+    from dataclasses import fields as dc_fields
+
+    from ..experiments.scenario import TraceSpec
+
+    return "stream" in {f.name for f in dc_fields(TraceSpec)}
 
 
 def _supports_llm() -> bool:
@@ -190,6 +234,14 @@ def _run_single(spec: dict) -> tuple[int, int]:
 def _run_multi(spec: dict) -> tuple[int, int]:
     result = run_multi_scenario(MultiScenario.from_dict(spec))
     return result.cluster.sim.processed_events, result.aggregate.total
+
+
+def _run_million(spec: dict) -> tuple[int, int]:
+    # Lean collection is mandatory here: a million per-request records
+    # would dominate the measurement (and the memory) of the very
+    # pipeline whose flatness this workload benchmarks.
+    result = run_scenario(Scenario.from_dict(spec), lean=True)
+    return result.cluster.sim.processed_events, result.summary.total
 
 
 def _run_sweep(spec: dict) -> tuple[int, int]:
@@ -226,4 +278,8 @@ def bench_workloads(quick: bool = False) -> list[BenchWorkload]:
         llm = _llm_serving(durations["llm"])
         out.append(BenchWorkload("llm-serving", "llm",
                                  lambda: _run_multi(llm)))
+    if _supports_streaming():
+        million = _million_request(durations["million"])
+        out.append(BenchWorkload("million-request", "million",
+                                 lambda: _run_million(million)))
     return out

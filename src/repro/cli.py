@@ -34,9 +34,12 @@ from .experiments.scenario import (
 )
 from .experiments.sweep import (
     SweepEvent,
+    merge_summaries,
+    parse_shard,
     prune_cache,
     run_sweep,
     scenario_cells,
+    shard_indices,
     summaries_text,
     summary_table,
     sweep_grid,
@@ -167,11 +170,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def _run_cells(cells, args: argparse.Namespace) -> int:
     """Shared sweep execution/reporting for grid and scenario sweeps."""
+    cells = list(cells)
+    grid_total = len(cells)
+    indices = None
+    if getattr(args, "shard", None):
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        indices = shard_indices(grid_total, shard)
+        cells = [cells[i] for i in indices]
+        if not args.quiet:
+            print(f"shard {shard[0]}/{shard[1]}: {len(cells)} of "
+                  f"{grid_total} cells", file=sys.stderr)
 
     def progress(event: SweepEvent) -> None:
         if not args.quiet and event.kind != "start":
             status = {"cached": "cached", "done": "done", "error": "ERROR"}[event.kind]
-            print(f"[{event.index + 1}/{event.total}] {event.cell.label()}: "
+            # Sharded runs report each cell by its global grid position.
+            shown = indices[event.index] if indices is not None else event.index
+            print(f"[{shown + 1}/{grid_total}] {event.cell.label()}: "
                   f"{status} ({event.elapsed:.1f}s)", file=sys.stderr)
 
     if getattr(args, "lean", False):
@@ -188,7 +206,9 @@ def _run_cells(cells, args: argparse.Namespace) -> int:
     if args.save_summaries:
         from pathlib import Path
 
-        Path(args.save_summaries).write_text(summaries_text(results))
+        Path(args.save_summaries).write_text(
+            summaries_text(results, indices=indices)
+        )
     if args.max_cache_mb is not None:
         # Prune against the configured directory even under --no-cache:
         # the budget bounds what is on disk, not what this run wrote.
@@ -352,6 +372,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_merge(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    texts = []
+    for path in args.inputs:
+        try:
+            texts.append(Path(path).read_text())
+        except OSError as exc:
+            raise SystemExit(f"cannot read {path}: {exc}") from None
+    try:
+        merged = merge_summaries(texts)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.out:
+        Path(args.out).write_text(merged)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(merged)
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     if args.llm:
         # One row per application with its profile kind: "llm" when any
@@ -470,9 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--profile", type=int, default=0, metavar="N",
                          help="also cProfile one pass and print the top N "
                               "functions by cumulative time")
-    p_bench.add_argument("--out", default="BENCH_7.json", metavar="PATH",
+    p_bench.add_argument("--out", default="BENCH_8.json", metavar="PATH",
                          help="write the JSON report here (default: "
-                              "BENCH_7.json; empty string to skip)")
+                              "BENCH_8.json; empty string to skip)")
     p_bench.add_argument("--baseline", default=None, metavar="PATH",
                          help="earlier report to compute the speedup against")
     p_bench.add_argument("--scenarios", default="examples/scenarios",
@@ -482,6 +523,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-determinism", action="store_true",
                          help="skip the golden-fingerprint determinism check")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge per-shard --save-summaries files back into the "
+             "serial-order summaries file (byte-identical to an unsharded "
+             "run)",
+    )
+    p_merge.add_argument("inputs", nargs="+",
+                         help="shard summaries files written by "
+                              "`--shard i/N --save-summaries`")
+    p_merge.add_argument("-o", "--out", default=None, metavar="PATH",
+                         help="output path (default: stdout)")
+    p_merge.set_defaults(fn=cmd_merge)
 
     p_list = sub.add_parser(
         "list", help="list registered applications, traces and policies"
@@ -527,6 +581,10 @@ def _add_sweep_exec_args(p: argparse.ArgumentParser) -> None:
                    help="collect summary counters only (no per-request "
                         "records); faster, but per-module drop tables and "
                         "latency analyses are unavailable")
+    p.add_argument("--shard", default=None, metavar="I/N",
+                   help="run only the i-th of N deterministic grid shards "
+                        "(1-based round-robin); --save-summaries then "
+                        "writes a shard file for `repro merge`")
 
 
 def main(argv: list[str] | None = None) -> int:

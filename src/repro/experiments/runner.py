@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from functools import lru_cache
+from functools import lru_cache, partial
 from typing import Callable, Sequence
 
 from ..metrics.analysis import Summary, merge_collectors, summarize
@@ -31,7 +31,8 @@ from ..simulation.routing import PathRouter
 from ..simulation.scaling import ReactiveScaler
 from ..simulation.tenancy import SharedCluster, Tenant
 from ..workload.generators import TRACES, get_trace
-from ..workload.replay import replay
+from ..workload.replay import ArrivalPump, replay
+from ..workload.source import ArrivalSource
 from ..workload.trace import Trace
 from .scenario import (
     MultiScenario,
@@ -69,7 +70,12 @@ def _trace_shape_factor(
     )
     shape = pilot.mean_rate / 50.0
     if shape <= 0:
-        raise ValueError(f"trace {trace!r} produced no arrivals")
+        # Report the trace by name and size only — never embed a trace
+        # repr, which is unbounded for large materialized workloads.
+        raise ValueError(
+            f"trace {trace} produced no arrivals in the calibration "
+            f"pilot ({len(pilot)} arrivals over {duration:g}s)"
+        )
     return shape
 
 
@@ -95,7 +101,7 @@ class ExperimentConfig:
     trace_scale: float = 1.0  # post-generation thinning factor (<= 1)
     trace_seed: int | None = None  # pin the workload seed (default: seed)
     custom_app: Application | None = None
-    custom_trace: Trace | None = None
+    custom_trace: Trace | ArrivalSource | None = None
     registry: ProfileRegistry = field(default_factory=lambda: DEFAULT_PROFILES)
 
     def __post_init__(self) -> None:
@@ -110,7 +116,7 @@ class ExperimentConfig:
             app = Application(spec=app.spec, slo=self.slo)
         return app
 
-    def resolve_trace(self) -> Trace:
+    def resolve_trace(self) -> Trace | ArrivalSource:
         if self.custom_trace is not None:
             return self.custom_trace
         trace = get_trace(
@@ -125,7 +131,9 @@ class ExperimentConfig:
     def _trace_seed(self) -> int:
         return self.seed if self.trace_seed is None else self.trace_seed
 
-    def resolve_workers(self, trace: Trace | None = None) -> int | dict[str, int]:
+    def resolve_workers(
+        self, trace: Trace | ArrivalSource | None = None
+    ) -> int | dict[str, int]:
         """Explicit worker counts, or a plan provisioned for the trace.
 
         ``trace`` lets callers that already built the (possibly composed)
@@ -214,7 +222,7 @@ class ExperimentResult:
     collector: MetricsCollector
     summary: Summary
     cluster: Cluster
-    trace: Trace
+    trace: Trace | ArrivalSource
     failure_log: list[str] = field(default_factory=list)
     #: Goodput-under-constraints report; None unless the scenario (or
     #: caller) declared token-level SLO constraints.
@@ -228,7 +236,7 @@ class ExperimentResult:
 def build_cluster(
     config: ExperimentConfig,
     policy: DropPolicy,
-    trace: Trace | None = None,
+    trace: Trace | ArrivalSource | None = None,
     lean: bool = False,
     goodput: GoodputSpec | None = None,
     router: PathRouter | None = None,
@@ -269,7 +277,7 @@ def run_experiment(
     policy: DropPolicy | str | PolicySpec,
     failures: Sequence[FailureEvent] = (),
     scaling: ScalingSpec | None = None,
-    trace: Trace | None = None,
+    trace: Trace | ArrivalSource | None = None,
     lean: bool = False,
     goodput: GoodputSpec | None = None,
     router: PathRouter | None = None,
@@ -367,11 +375,23 @@ def run_scenario(scenario: Scenario, lean: bool = False) -> ExperimentResult:
     """
     scenario.validate()
     config = scenario_config(scenario)
-    # The shim carries the full trace declaration (name, args, scale,
-    # seed), so the base workload comes from the same resolve_trace path
-    # calibration measures; only the burst overlays are scenario-level.
-    base = config.resolve_trace()
-    trace = scenario.trace.overlay(base, default_seed=scenario.seed)
+    if scenario.trace.is_lazy():
+        # Lazy workloads (file-backed or stream=True) never materialize:
+        # provisioning sees the base source through one counting pass and
+        # replay pulls the composed source chunk by chunk.
+        base: Trace | ArrivalSource = scenario.trace.build_source_base(
+            config.resolve_base_rate(), default_seed=scenario.seed
+        )
+        trace: Trace | ArrivalSource = scenario.trace.overlay_source(
+            base, default_seed=scenario.seed
+        )
+    else:
+        # The shim carries the full trace declaration (name, args, scale,
+        # seed), so the base workload comes from the same resolve_trace
+        # path calibration measures; only the burst overlays are
+        # scenario-level.
+        base = config.resolve_trace()
+        trace = scenario.trace.overlay(base, default_seed=scenario.seed)
     if (config.workers is None and config.utilization is None
             and config.provision_rate is None and base.mean_rate > 0):
         # Auto-provisioning sizes the cluster for the steady workload;
@@ -407,7 +427,7 @@ class MultiResult:
     collectors: dict[str, MetricsCollector]
     aggregate: Summary
     cluster: SharedCluster
-    traces: dict[str, Trace]
+    traces: dict[str, Trace | ArrivalSource]
     failure_log: list[str] = field(default_factory=list)
     #: Per-app goodput-under-constraints reports, keyed like ``summaries``;
     #: tenants without declared constraints map to None.
@@ -420,19 +440,25 @@ class MultiResult:
 
 def _tenant_workload(
     scenario: Scenario, seed: int, weight: float
-) -> tuple[Trace, Trace]:
-    """(base trace, composed trace) for one tenant.
+) -> "tuple[Trace | ArrivalSource, Trace | ArrivalSource]":
+    """(base workload, composed workload) for one tenant.
 
     Mirrors :func:`run_scenario`'s trace path exactly — same generator,
     args, scale and overlay order — so a tenant served alone and the same
     tenant on an uncontended shared cluster replay the identical workload.
     ``weight`` scales the declared base rate; ``seed`` is the effective
-    (shared-seed-shifted) tenant seed.
+    (shared-seed-shifted) tenant seed.  Lazy tenant traces (file-backed
+    or ``stream=True``) come back as streaming sources.
     """
     config = scenario_config(scenario)
     config.seed = seed
     if weight != 1.0:
         config.base_rate = config.base_rate * weight
+    if scenario.trace.is_lazy():
+        base: Trace | ArrivalSource = scenario.trace.build_source_base(
+            config.base_rate, default_seed=seed
+        )
+        return base, scenario.trace.overlay_source(base, default_seed=seed)
     base = config.resolve_trace()
     trace = scenario.trace.overlay(base, default_seed=seed)
     return base, trace
@@ -478,7 +504,7 @@ def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
     multi.validate()
     registry = multi.build_registry()
     tenants: list[Tenant] = []
-    traces: dict[str, Trace] = {}
+    traces: dict[str, Trace | ArrivalSource] = {}
     base_rates: dict[str, float] = {}
     for tenant_spec in multi.tenants:
         s = tenant_spec.scenario
@@ -533,9 +559,16 @@ def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
     if multi.failures:
         injector = FailureInjector(cluster, events=list(multi.failures))
         injector.schedule_all()
+    # One arrival lane per tenant, opened in declaration order: each lane
+    # reserves its sequence-number block up front, so lazily pumping one
+    # pending arrival per tenant reproduces the exact event ordering of
+    # the old eager pre-scheduling loop (tenant-by-tenant, trace order).
     for tenant in tenants:
-        for t in traces[tenant.name].arrivals:
-            cluster.submit_at(tenant.name, float(t))
+        ArrivalPump(
+            traces[tenant.name],
+            partial(cluster.submit_now, tenant.name),
+            sim.open_lane(),
+        ).prime()
     cluster.start_ticks()
     sim.run(until=multi.duration() + multi.drain)
     cluster.stop_ticks()

@@ -38,7 +38,8 @@ from ..pipeline.spec import ModuleSpec, PipelineSpec, chain
 from ..policies.spec import PolicySpec
 from ..simulation.failures import FailureEvent
 from ..simulation.routing import PathRouter, ProbabilisticRouter, StaticRouter
-from ..workload.generators import TRACES, get_trace
+from ..workload.generators import TRACES, get_trace, stream_trace
+from ..workload.source import ArrivalSource, FileSource
 from ..workload.trace import Trace
 
 __all__ = [
@@ -236,6 +237,23 @@ class TraceSpec:
     ``burst_at``), ``scale`` thins the generated trace (<= 1) and
     ``bursts`` overlay rate multipliers — so a "composed" trace is data,
     not a live :class:`~repro.workload.trace.Trace` object.
+
+    Two lazy forms extend the generator declaration:
+
+    - ``path`` replays an on-disk arrival log (CSV or JSONL, see
+      :class:`~repro.workload.source.FileSource`) instead of generating;
+      ``digest`` optionally pins its sha256 so the spec stays frozen and
+      cache-fingerprintable even though the workload lives outside the
+      file.  File-backed traces take no ``base_rate`` or ``args`` — the
+      file *is* the realization.  When ``name`` is left at its default it
+      falls back to the file stem.
+    - ``stream=True`` generates the named trace as a windowed streaming
+      source (:func:`~repro.workload.generators.stream_trace`) — flat
+      memory for arbitrarily long workloads, statistically equivalent to
+      but a *different realization* than the eager generator.
+
+    New keys are serialized only when set, so the fingerprint of every
+    pre-existing generator spec is unchanged.
     """
 
     name: str = "tweet"
@@ -245,6 +263,9 @@ class TraceSpec:
     args: tuple = ()
     scale: float = 1.0
     bursts: tuple[BurstSpec, ...] = ()
+    path: str | None = None
+    digest: str | None = None
+    stream: bool = False
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -253,6 +274,34 @@ class TraceSpec:
             raise ValueError("trace base_rate must be > 0 (or null)")
         if not 0 < self.scale <= 1.0:
             raise ValueError("trace scale must be in (0, 1] (thinning only)")
+        if self.digest is not None and self.path is None:
+            raise ValueError("trace digest requires a file-backed path")
+        if self.path is not None:
+            if self.stream:
+                raise ValueError(
+                    "stream is implied by path; a file-backed trace "
+                    "always replays lazily"
+                )
+            if self.base_rate is not None:
+                raise ValueError(
+                    "file-backed traces take no base_rate: the file fixes "
+                    "the arrivals"
+                )
+            if dict(self.args):
+                raise ValueError(
+                    "file-backed traces take no generator args"
+                )
+            if self.name == "tweet":
+                # Field default; a replayed log is better known by its
+                # file stem than by the generator default name.
+                object.__setattr__(self, "name", Path(self.path).stem)
+            # The file also fixes the duration (like the arrivals): probe
+            # the header so bursts validate and summaries normalize
+            # against the replayed horizon, not the field default.  The
+            # digest is deliberately not checked here — that happens once
+            # at run time, not on every spec parse.
+            probe = FileSource(self.path, name=self.name)
+            object.__setattr__(self, "duration", probe.duration)
         object.__setattr__(self, "args", freeze_trace_args(self.args))
         object.__setattr__(
             self,
@@ -269,12 +318,21 @@ class TraceSpec:
                     f"{self.duration}"
                 )
 
+    def is_lazy(self) -> bool:
+        """True when the workload replays as a streaming source."""
+        return self.stream or self.path is not None
+
     def build_base(self, base_rate: float, default_seed: int = 0) -> Trace:
         """The declared steady workload: generator args + thinning.
 
         Bursts are deliberately excluded — they are the "unpredictable
         events" layered on top, and provisioning must not see them.
+        File-backed traces materialize their stream here.
         """
+        if self.path is not None:
+            return self.build_source_base(
+                base_rate, default_seed
+            ).materialize(self.name)
         if self.name not in TRACES:
             raise KeyError(
                 f"unknown trace {self.name!r}; known: {sorted(TRACES)}"
@@ -289,6 +347,32 @@ class TraceSpec:
             trace = trace.scaled(self.scale)
         return trace
 
+    def build_source_base(
+        self, base_rate: float, default_seed: int = 0
+    ) -> ArrivalSource:
+        """The steady workload as a lazy source (bursts excluded).
+
+        The streaming counterpart of :meth:`build_base`: a file replay
+        for ``path`` specs, a windowed :func:`~repro.workload.generators.
+        stream_trace` otherwise, with the declared thinning composed on
+        top as a streaming transform.
+        """
+        if self.path is not None:
+            source: ArrivalSource = FileSource(
+                self.path, name=self.name, duration=self.duration,
+                digest=self.digest,
+            )
+        else:
+            seed = self.seed if self.seed is not None else default_seed
+            kwargs = {k: _thaw(v) for k, v in self.args}
+            source = stream_trace(
+                self.name, base_rate=base_rate, duration=self.duration,
+                seed=seed, **kwargs,
+            )
+        if self.scale != 1.0:
+            source = source.scaled(self.scale)
+        return source
+
     def overlay(self, trace: Trace, default_seed: int = 0) -> Trace:
         """Apply the declared burst overlays to an already-built trace."""
         seed = self.seed if self.seed is not None else default_seed
@@ -298,14 +382,34 @@ class TraceSpec:
             )
         return trace
 
+    def overlay_source(
+        self, source: ArrivalSource, default_seed: int = 0
+    ) -> ArrivalSource:
+        """Burst overlays as streaming transforms (byte-identical to the
+        eager :meth:`overlay` on the same arrivals)."""
+        seed = self.seed if self.seed is not None else default_seed
+        for burst in self.bursts:
+            source = source.overlay_burst(
+                burst.start, burst.length, burst.factor, seed=burst.seed + seed
+            )
+        return source
+
     def build(self, base_rate: float, default_seed: int = 0) -> Trace:
         """Generate the composed trace at ``base_rate``."""
         return self.overlay(
             self.build_base(base_rate, default_seed), default_seed
         )
 
+    def build_source(
+        self, base_rate: float, default_seed: int = 0
+    ) -> ArrivalSource:
+        """The composed workload as a lazy source (overlays included)."""
+        return self.overlay_source(
+            self.build_source_base(base_rate, default_seed), default_seed
+        )
+
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "duration": self.duration,
             "base_rate": self.base_rate,
@@ -314,12 +418,24 @@ class TraceSpec:
             "scale": self.scale,
             "bursts": [b.to_dict() for b in self.bursts],
         }
+        # Emitted only when set: every pre-existing generator spec keeps
+        # its serialized form — and therefore its cache fingerprint.
+        if self.path is not None:
+            out["path"] = self.path
+        if self.digest is not None:
+            out["digest"] = self.digest
+        if self.stream:
+            out["stream"] = True
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "TraceSpec":
         _check_keys(
             data,
-            {"name", "duration", "base_rate", "seed", "args", "scale", "bursts"},
+            {
+                "name", "duration", "base_rate", "seed", "args", "scale",
+                "bursts", "path", "digest", "stream",
+            },
             "trace",
         )
         return cls(
@@ -335,6 +451,11 @@ class TraceSpec:
             bursts=tuple(
                 BurstSpec.from_dict(b) for b in data.get("bursts", [])
             ),
+            path=None if data.get("path") is None else str(data["path"]),
+            digest=(
+                None if data.get("digest") is None else str(data["digest"])
+            ),
+            stream=bool(data.get("stream", False)),
         )
 
 
@@ -755,19 +876,34 @@ class Scenario:
                 "calibration sizes workers itself, so the explicit rate "
                 "would be silently ignored"
             )
-        if self.trace.name not in TRACES:
-            raise ValueError(
-                f"unknown trace {self.trace.name!r}; known: {sorted(TRACES)}"
-            )
-        generator = TRACES[self.trace.name]
-        parameters = inspect.signature(generator).parameters
-        if not any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
-            unknown_args = {key for key, _ in self.trace.args} - set(parameters)
-            if unknown_args:
+        if self.trace.path is not None:
+            # File-backed workload: the name is a label, not a registry
+            # key, and calibration has no generator to pilot against.
+            if self.utilization is not None:
                 raise ValueError(
-                    f"trace {self.trace.name!r} does not accept args: "
-                    f"{sorted(unknown_args)}"
+                    "utilization calibration requires a generator trace; "
+                    "a file-backed trace fixes its own arrivals — set "
+                    "workers or provision_rate instead"
                 )
+        else:
+            if self.trace.name not in TRACES:
+                raise ValueError(
+                    f"unknown trace {self.trace.name!r}; "
+                    f"known: {sorted(TRACES)}"
+                )
+            generator = TRACES[self.trace.name]
+            parameters = inspect.signature(generator).parameters
+            if not any(
+                p.kind is p.VAR_KEYWORD for p in parameters.values()
+            ):
+                unknown_args = (
+                    {key for key, _ in self.trace.args} - set(parameters)
+                )
+                if unknown_args:
+                    raise ValueError(
+                        f"trace {self.trace.name!r} does not accept args: "
+                        f"{sorted(unknown_args)}"
+                    )
         try:
             app = self.build_application()
             registry = self.build_registry()

@@ -583,19 +583,95 @@ def run_sweep(
     return [r for r in results if r is not None]
 
 
-def summaries_payload(results: Sequence[CellResult]) -> list[dict]:
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse an ``i/N`` shard designator into a 1-based ``(i, n)`` pair."""
+    head, sep, tail = text.partition("/")
+    try:
+        index, count = int(head), int(tail)
+    except ValueError:
+        index, count = 0, 0
+    if not sep or count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard must be 'i/N' with 1 <= i <= N, got {text!r}"
+        )
+    return index, count
+
+
+def shard_indices(total: int, shard: tuple[int, int]) -> list[int]:
+    """Global cell indices owned by one shard of an ``(i, n)`` partition.
+
+    Round-robin over the grid order (``k % n == i - 1``): neighbouring
+    grid cells usually share cost structure (same app/policy, varying
+    seed), so striping balances shards better than contiguous blocks.
+    The partition is a pure function of ``(total, shard)`` — every shard
+    computes the same split independently, with no coordination.
+    """
+    index, count = shard
+    if not 1 <= index <= count:
+        raise ValueError(f"shard index {index} outside 1..{count}")
+    return list(range(index - 1, total, count))
+
+
+def merge_summaries(texts: Iterable[str]) -> str:
+    """Merge per-shard ``--save-summaries`` files back into the serial form.
+
+    Each input must be a shard file (entries carry the global ``index``
+    written by a sharded run).  The merged output sorts by index,
+    validates the partition is complete and non-overlapping, strips the
+    shard bookkeeping and re-serializes — producing *byte-identical*
+    output to the same grid run serially with ``--save-summaries``.
+    """
+    entries: list[dict] = []
+    for text in texts:
+        part = json.loads(text)
+        if not isinstance(part, list):
+            raise ValueError("merge input is not a summaries file")
+        for entry in part:
+            if "index" not in entry:
+                raise ValueError(
+                    "summary entry missing 'index': merge inputs must be "
+                    "shard files written by a --shard run"
+                )
+            entries.append(entry)
+    entries.sort(key=lambda e: e["index"])
+    indices = [e["index"] for e in entries]
+    if indices != list(range(len(entries))):
+        present = set(indices)
+        missing = sorted(set(range(len(entries))) - present)
+        dupes = sorted({i for i in indices if indices.count(i) > 1})
+        raise ValueError(
+            f"shard files do not form a complete partition: "
+            f"missing cells {missing}, duplicated cells {dupes}"
+        )
+    for entry in entries:
+        del entry["index"]
+    return json.dumps(entries, indent=2, sort_keys=True) + "\n"
+
+
+def summaries_payload(
+    results: Sequence[CellResult],
+    indices: Sequence[int] | None = None,
+) -> list[dict]:
     """Deterministic JSON form of sweep results (no timings, no cache bits).
 
     Everything in the payload is a pure function of the cells, so two runs
     of the same grid — serial, 4-proc, cached or fresh — serialize
     byte-identically.  ``repro ... --save-summaries`` writes this for CI to
-    diff across worker counts.
+    diff across worker counts.  ``indices`` (a sharded run's global cell
+    positions, parallel to ``results``) stamps each entry with the
+    ``index`` key :func:`merge_summaries` reassembles on.
     """
     from dataclasses import asdict
 
+    if indices is not None and len(indices) != len(results):
+        raise ValueError(
+            f"got {len(results)} results but {len(indices)} shard indices"
+        )
     out: list[dict] = []
-    for r in results:
+    for pos, r in enumerate(results):
         entry: dict = {"label": r.cell.label(), "policy": r.policy_name}
+        if indices is not None:
+            entry["index"] = int(indices[pos])
         if r.ok and r.summary is not None:
             entry["summary"] = asdict(r.summary)
             if r.per_app:
@@ -617,14 +693,19 @@ def summaries_payload(results: Sequence[CellResult]) -> list[dict]:
     return out
 
 
-def summaries_text(results: Sequence[CellResult]) -> str:
+def summaries_text(
+    results: Sequence[CellResult],
+    indices: Sequence[int] | None = None,
+) -> str:
     """The canonical on-disk serialization of :func:`summaries_payload`.
 
     Single-sourced so ``--save-summaries`` files, the committed golden
     fingerprints and ``repro bench``'s determinism check can never drift
-    apart on formatting.
+    apart on formatting.  With ``indices`` this writes the shard form
+    that :func:`merge_summaries` accepts.
     """
-    return json.dumps(summaries_payload(results), indent=2, sort_keys=True) + "\n"
+    payload = summaries_payload(results, indices=indices)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
 def load_scenario_cells(path: str | os.PathLike) -> list[SweepCell]:

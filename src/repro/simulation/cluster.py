@@ -104,6 +104,18 @@ class RequestFlow:
         self.sim.schedule(t, self.submit, request)
         return request
 
+    def submit_now(self, t: float, slo: float | None = None) -> Request:
+        """Create and inject a request arriving at time ``t`` immediately.
+
+        The streaming-replay entry point: the arrival pump calls this
+        from inside its lane event, so the request object only exists
+        once its send time is reached — unlike :meth:`submit_at`, which
+        allocates the request up front.
+        """
+        request = Request(sent_at=t, slo=self.slo if slo is None else slo)
+        self.submit(request)
+        return request
+
     def on_module_done(self, request: Request, module: Module) -> None:
         """A worker finished executing ``request`` at ``module``."""
         if request.status is RequestStatus.DROPPED:

@@ -14,6 +14,15 @@ is flagged and skipped at pop time), but the heap compacts itself whenever
 tombstones outnumber live events, so a workload that schedules and cancels
 heavily (timeout guards, rescheduled ticks) cannot grow the heap — or the
 ``run(until=...)`` head-walk — without bound.
+
+Arrival *lanes* (:meth:`Simulator.open_lane`) carry streamed request
+arrivals: a lane reserves a contiguous block of sequence numbers when it
+is opened, so events scheduled on it later — one pending arrival at a
+time — occupy exactly the tie-breaking position that eagerly
+pre-scheduling the whole trace at open time would have given them: after
+everything scheduled before the lane opened, before everything scheduled
+after, lanes in opening order, and within a lane in scheduling order.
+That makes lazy streaming byte-identical to the old eager replay.
 """
 
 from __future__ import annotations
@@ -57,6 +66,54 @@ class EventHandle:
             self._sim._note_cancelled()
 
 
+class ArrivalLane:
+    """Streaming lane returned by :meth:`Simulator.open_lane`.
+
+    The lane reserves ``_SPAN`` sequence numbers up front, so an event
+    scheduled on it *later* still sorts exactly where eager
+    pre-scheduling at open time would have placed it relative to every
+    other event — that equivalence is what keeps lazy arrival streaming
+    byte-identical to materialized replay.  Lane times must be
+    nondecreasing (the lane streams a sorted arrival source), which also
+    means the one-pending-event discipline never rewinds the clock.
+    """
+
+    __slots__ = ("_sim", "_base", "_k", "_last")
+
+    #: Sequence numbers reserved per lane; bounds arrivals per lane.
+    _SPAN = 2**44
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._base = sim._seq
+        sim._seq = self._base + self._SPAN
+        self._k = 0
+        self._last = -float("inf")
+
+    def schedule(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at ``time`` in this lane's slot."""
+        if time < self._sim._now:
+            raise ValueError(
+                f"cannot schedule event at {time:.6f}s before "
+                f"now={self._sim._now:.6f}s"
+            )
+        if time < self._last:
+            raise ValueError(
+                f"lane times must be nondecreasing: {time!r} after "
+                f"{self._last!r} (is the arrival source sorted?)"
+            )
+        self._last = time
+        if self._k >= self._SPAN:  # pragma: no cover - 2**44 arrivals
+            raise OverflowError("arrival lane exhausted")
+        seq = self._base + self._k
+        self._k += 1
+        handle = EventHandle(self._sim, time, seq, callback, args)
+        heapq.heappush(self._sim._heap, (time, seq, handle))
+        return handle
+
+
 class Simulator:
     """A minimal, deterministic event loop.
 
@@ -77,6 +134,10 @@ class Simulator:
         self._now = 0.0
         self._processed = 0
         self._cancelled = 0  # tombstones still sitting in the heap
+
+    def open_lane(self) -> ArrivalLane:
+        """Open a streaming arrival lane (see :class:`ArrivalLane`)."""
+        return ArrivalLane(self)
 
     @property
     def now(self) -> float:

@@ -371,6 +371,21 @@ class SharedCluster:
         self.sim.schedule(t, view.submit, request)
         return request
 
+    def submit_now(self, tenant: str, t: float,
+                   slo: float | None = None) -> Request:
+        """Create and inject one request for ``tenant`` arriving at ``t``.
+
+        The streaming-replay entry point (see ``Cluster.submit_now``):
+        called from inside a per-tenant arrival-lane event, so requests
+        materialize one at a time instead of all before the run.
+        """
+        view = self.views[tenant]
+        request = Request(
+            sent_at=t, slo=view.slo if slo is None else slo, app=tenant
+        )
+        view.submit(request)
+        return request
+
     # -- periodic control plane --------------------------------------------
 
     def start_ticks(self) -> None:

@@ -96,6 +96,32 @@ def constant_trace(
     return Trace(name=name, arrivals=np.arange(n) / rate, duration=duration)
 
 
+#: Name -> rate-envelope builder ``(base_rate, duration, seed, **kwargs)
+#: -> (rate_fn, peak_rate)``.  The envelope is the deterministic part of
+#: a generator (its shape parameters draw from their own seeded rng);
+#: eager generation samples it via Lewis-Shedler thinning, streaming
+#: generation via windowed regeneration — one envelope, two samplers.
+ENVELOPES: dict[str, Callable[..., tuple[RateFn, float]]] = {}
+
+
+def _wiki_envelope(
+    base_rate: float, duration: float, seed: int
+) -> tuple[RateFn, float]:
+    rng = np.random.default_rng(seed + 1)
+    phase = rng.uniform(0, 2 * np.pi)
+    period = duration / 1.5
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        swing = 0.45 * np.sin(2 * np.pi * t / period + phase)
+        ripple = 0.10 * np.sin(2 * np.pi * t / (period / 7.3) + 2 * phase)
+        return base_rate * np.clip(1.0 + swing + ripple, 0.05, None)
+
+    return rate, base_rate * (1.0 + 0.45 + 0.10) * 1.01
+
+
+ENVELOPES["wiki"] = _wiki_envelope
+
+
 @register_trace("wiki")
 def wiki_trace(
     base_rate: float = 100.0,
@@ -109,16 +135,7 @@ def wiki_trace(
     periods with mild noise, giving a windowed-rate CV near 0.47 (the value
     the paper reports for its wiki trace).
     """
-    rng = np.random.default_rng(seed + 1)
-    phase = rng.uniform(0, 2 * np.pi)
-    period = duration / 1.5
-
-    def rate(t: np.ndarray) -> np.ndarray:
-        swing = 0.45 * np.sin(2 * np.pi * t / period + phase)
-        ripple = 0.10 * np.sin(2 * np.pi * t / (period / 7.3) + 2 * phase)
-        return base_rate * np.clip(1.0 + swing + ripple, 0.05, None)
-
-    peak = base_rate * (1.0 + 0.45 + 0.10) * 1.01
+    rate, peak = _wiki_envelope(base_rate, duration, seed)
     return arrivals_from_rate(rate, duration, peak, seed, name)
 
 
@@ -139,6 +156,21 @@ def tweet_trace(
     stays elevated for a sustained window, on top of bursty fluctuations
     (windowed-rate CV near 1.0).
     """
+    rate, peak = _tweet_envelope(
+        base_rate, duration, seed,
+        burst_at=burst_at, burst_factor=burst_factor, burst_len=burst_len,
+    )
+    return arrivals_from_rate(rate, duration, peak, seed, name)
+
+
+def _tweet_envelope(
+    base_rate: float,
+    duration: float,
+    seed: int,
+    burst_at: float | None = None,
+    burst_factor: float = 2.0,
+    burst_len: float | None = None,
+) -> tuple[RateFn, float]:
     rng = np.random.default_rng(seed + 2)
     burst_at = duration * 0.7 if burst_at is None else burst_at
     burst_len = duration * 0.12 if burst_len is None else burst_len
@@ -152,8 +184,10 @@ def tweet_trace(
         in_burst = (t >= burst_at) & (t < burst_at + burst_len)
         return np.where(in_burst, level * burst_factor, level)
 
-    peak = base_rate * float(steps.max()) * burst_factor * 1.01
-    return arrivals_from_rate(rate, duration, peak, seed, name)
+    return rate, base_rate * float(steps.max()) * burst_factor * 1.01
+
+
+ENVELOPES["tweet"] = _tweet_envelope
 
 
 @register_trace("azure")
@@ -169,6 +203,13 @@ def azure_trace(
     of a noisy baseline; the paper's azure trace peaks at roughly 1.5x its
     mean rate (Figure 10, left).
     """
+    rate, peak = _azure_envelope(base_rate, duration, seed)
+    return arrivals_from_rate(rate, duration, peak, seed, name)
+
+
+def _azure_envelope(
+    base_rate: float, duration: float, seed: int
+) -> tuple[RateFn, float]:
     rng = np.random.default_rng(seed + 3)
     n_steps = max(2, int(duration / 3.0) + 1)
     steps = rng.lognormal(mean=-0.061, sigma=0.35, size=n_steps)
@@ -187,8 +228,10 @@ def azure_trace(
             boost = np.where(mask, np.maximum(boost, amp), boost)
         return level * boost
 
-    peak = base_rate * float(steps.max()) * 2.6 * 1.01
-    return arrivals_from_rate(rate, duration, peak, seed, name)
+    return rate, base_rate * float(steps.max()) * 2.6 * 1.01
+
+
+ENVELOPES["azure"] = _azure_envelope
 
 
 def step_trace(
@@ -252,6 +295,39 @@ def _step_by_name(
     return step_trace(rates=absolute, duration=duration, seed=seed, name=name)
 
 
+def _poisson_envelope(
+    base_rate: float, duration: float, seed: int
+) -> tuple[RateFn, float]:
+    return (lambda t: np.full_like(t, base_rate)), base_rate
+
+
+ENVELOPES["poisson"] = _poisson_envelope
+
+
+def _step_envelope(
+    base_rate: float,
+    duration: float,
+    seed: int,
+    rates: list[tuple[float, float]] | None = None,
+) -> tuple[RateFn, float]:
+    shape = rates if rates is not None else [(0.0, 1.0)]
+    if not shape or shape[0][0] != 0:
+        raise ValueError("rates must start with a change-point at t=0")
+    starts = np.array([float(s) for s, _ in shape])
+    levels = np.array([float(m) * base_rate for _, m in shape])
+    if np.any(np.diff(starts) <= 0):
+        raise ValueError("change-points must be strictly increasing")
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(starts, t, side="right") - 1
+        return levels[idx]
+
+    return rate, float(levels.max())
+
+
+ENVELOPES["step"] = _step_envelope
+
+
 def get_trace(
     name: str, base_rate: float, duration: float, seed: int = 0, **kwargs
 ) -> Trace:
@@ -261,3 +337,44 @@ def get_trace(
     except KeyError:
         raise KeyError(f"unknown trace {name!r}; known: {sorted(TRACES)}") from None
     return gen(base_rate=base_rate, duration=duration, seed=seed, name=name, **kwargs)
+
+
+def stream_trace(
+    name: str,
+    base_rate: float,
+    duration: float,
+    seed: int = 0,
+    *,
+    window: float = 16.0,
+    **kwargs,
+):
+    """Build a registered trace as a lazy :class:`~repro.workload.source.
+    ArrivalSource` instead of a materialized :class:`Trace`.
+
+    ``constant`` streams byte-identically to its eager form (no RNG);
+    every envelope-backed generator (``poisson``/``wiki``/``tweet``/
+    ``azure``/``step``) streams via windowed regeneration — the same
+    inhomogeneous Poisson process, a different (seed-deterministic)
+    realization.  Registered generators without an envelope fall back to
+    materializing once and streaming the result, so the contract is
+    total over the registry.
+    """
+    from .source import ConstantSource, GeneratorSource, TraceSource
+
+    if name == "constant":
+        return ConstantSource(rate=base_rate, duration=duration, name=name)
+    envelope = ENVELOPES.get(name)
+    if envelope is None:
+        if name not in TRACES:
+            raise KeyError(
+                f"unknown trace {name!r}; known: {sorted(TRACES)}"
+            )
+        return TraceSource(
+            get_trace(name, base_rate, duration, seed=seed, **kwargs)
+        )
+    rate_fn, peak = envelope(
+        base_rate=base_rate, duration=duration, seed=seed, **kwargs
+    )
+    return GeneratorSource(
+        rate_fn, duration, peak, seed=seed, name=name, window=window
+    )

@@ -54,6 +54,56 @@ def load_trace_csv(path: str | Path, name: str | None = None,
     )
 
 
+def save_trace_jsonl(trace: Trace, path: str | Path) -> None:
+    """Write one arrival per line as ``{"t": ...}`` after a meta header.
+
+    The line-oriented sibling of :func:`save_trace_csv` for tooling that
+    speaks JSONL; both formats replay chunked through
+    :class:`~repro.workload.source.FileSource`.
+    """
+    with Path(path).open("w") as fh:
+        fh.write(json.dumps({"name": trace.name,
+                             "duration": float(trace.duration)}) + "\n")
+        for t in trace.arrivals.tolist():
+            fh.write(json.dumps({"t": t}) + "\n")
+
+
+def load_trace_jsonl(path: str | Path, name: str | None = None,
+                     duration: float | None = None) -> Trace:
+    """Read a JSONL trace written by :func:`save_trace_jsonl` (arrivals
+    are sorted, so unordered logs load too)."""
+    header_name: str | None = None
+    header_duration: float | None = None
+    arrivals: list[float] = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            value = json.loads(line)
+            if isinstance(value, dict) and "t" not in value:
+                if lineno != 1:
+                    raise ValueError(
+                        f"{path}:{lineno}: arrival object missing 't'"
+                    )
+                header_name = value.get("name")
+                if value.get("duration") is not None:
+                    header_duration = float(value["duration"])
+                continue
+            arrivals.append(
+                float(value["t"]) if isinstance(value, dict) else float(value)
+            )
+    arr = np.asarray(sorted(arrivals))
+    final_duration = duration or header_duration
+    if final_duration is None:
+        final_duration = float(arr[-1]) + 1e-9 if arr.size else 0.0
+    return Trace(
+        name=name or header_name or Path(path).stem,
+        arrivals=arr,
+        duration=final_duration,
+    )
+
+
 def save_trace_json(trace: Trace, path: str | Path) -> None:
     """Write the trace as a self-describing JSON document."""
     Path(path).write_text(

@@ -37,6 +37,11 @@ class Trace:
     def __len__(self) -> int:
         return int(self.arrivals.size)
 
+    def __iter__(self):
+        """Iterate arrival times as floats (the streaming protocol —
+        :class:`~repro.workload.source.ArrivalSource` shares it)."""
+        return iter(self.arrivals.tolist())
+
     @property
     def mean_rate(self) -> float:
         """Average requests/second over the trace duration."""
@@ -134,4 +139,52 @@ class Trace:
             name=f"{self.name}x{factor:g}",
             arrivals=self.arrivals[keep],
             duration=self.duration,
+        )
+
+    @staticmethod
+    def concat(traces: "list[Trace] | tuple[Trace, ...]",
+               name: str | None = None) -> "Trace":
+        """Concatenate traces end to end.
+
+        Each trace is re-based after the previous one's *full* duration
+        (not its last arrival), so quiet tails are preserved.  Matches
+        :class:`~repro.workload.source.ConcatSource` bitwise.
+        """
+        traces = list(traces)
+        if not traces:
+            raise ValueError("concat needs at least one trace")
+        parts: list[np.ndarray] = []
+        offset = 0.0
+        for trace in traces:
+            parts.append(trace.arrivals + offset)
+            offset += trace.duration
+        return Trace(
+            name=name or "+".join(t.name for t in traces),
+            arrivals=np.concatenate(parts),
+            duration=offset,
+        )
+
+    def splice(self, other: "Trace", at: float) -> "Trace":
+        """Replace the window ``[at, at + other.duration)`` with ``other``.
+
+        The paper's trace-composition gap beyond bursts: drop a recorded
+        incident (or any other trace) into a steady baseline at a chosen
+        time.  Arrivals of ``self`` inside the window are discarded,
+        ``other``'s arrivals shift to start at ``at``, and the duration
+        extends if the splice runs past the end.  Deterministic — no RNG.
+        Matches :class:`~repro.workload.source.SpliceSource` bitwise.
+        """
+        if not 0 <= at <= self.duration:
+            raise ValueError(
+                f"splice point {at} outside trace duration {self.duration}"
+            )
+        end = at + other.duration
+        return Trace(
+            name=f"{self.name}<-{other.name}@{at:g}",
+            arrivals=np.concatenate([
+                self.arrivals[self.arrivals < at],
+                other.arrivals + at,
+                self.arrivals[self.arrivals >= end],
+            ]),
+            duration=max(self.duration, end),
         )

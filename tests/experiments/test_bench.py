@@ -91,7 +91,9 @@ class TestReport:
 class TestWorkloadDeclarations:
     def test_four_canonical_kinds(self):
         workloads = bench_workloads(quick=True)
-        assert [w.kind for w in workloads] == ["single", "multi", "sweep", "llm"]
+        assert [w.kind for w in workloads] == [
+            "single", "multi", "sweep", "llm", "million"
+        ]
         sweep = workloads[2]
         assert sweep.cells == 8  # four apps x two policies
 

@@ -1,0 +1,94 @@
+"""Arrival-lane semantics: reserved sequence blocks and tie-breaking.
+
+The engine guarantee under test: events scheduled through a lane fire at
+the exact tie-breaking position eager pre-scheduling at lane-open time
+would give them — after everything scheduled before the lane opened,
+before everything scheduled after, lanes in opening order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import ArrivalLane, Simulator
+
+
+class TestArrivalLane:
+    def test_tie_breaks_after_pre_open_events(self):
+        # An event scheduled BEFORE the lane opened wins a same-time tie
+        # (matches the old eager order: failures armed first, then the
+        # trace pre-scheduled).
+        sim = Simulator()
+        order: list[str] = []
+        sim.schedule(5.0, lambda: order.append("pre"))
+        lane = sim.open_lane()
+        lane.schedule(5.0, lambda t: order.append("lane"), 5.0)
+        sim.schedule(5.0, lambda: order.append("post"))
+        sim.run()
+        assert order == ["pre", "lane", "post"]
+
+    def test_lazy_equals_eager_ordering(self):
+        # Scheduling lane events one at a time (from inside callbacks,
+        # the pump pattern) produces the same firing order as scheduling
+        # them all up front.
+        def drive(lazy: bool) -> list[str]:
+            sim = Simulator()
+            order: list[str] = []
+            sim.schedule(2.0, lambda: order.append("other@2"))
+            lane = sim.open_lane()
+            times = [1.0, 2.0, 2.0, 3.0]
+
+            if lazy:
+                it = iter(times)
+
+                def fire(t: float) -> None:
+                    order.append(f"lane@{t:g}")
+                    nxt = next(it, None)
+                    if nxt is not None:
+                        lane.schedule(nxt, fire, nxt)
+
+                first = next(it)
+                lane.schedule(first, fire, first)
+            else:
+                for t in times:
+                    lane.schedule(t, lambda t=t: order.append(f"lane@{t:g}"))
+            sim.schedule(2.0, lambda: order.append("late@2"))
+            sim.run()
+            return order
+
+        assert drive(lazy=True) == drive(lazy=False)
+
+    def test_lanes_fire_in_opening_order(self):
+        sim = Simulator()
+        order: list[str] = []
+        a = sim.open_lane()
+        b = sim.open_lane()
+        # Schedule through b first; a still wins the tie (opened first).
+        b.schedule(1.0, lambda t: order.append("b"), 1.0)
+        a.schedule(1.0, lambda t: order.append("a"), 1.0)
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_monotonicity_enforced(self):
+        sim = Simulator()
+        lane = sim.open_lane()
+        lane.schedule(5.0, lambda t: None, 5.0)
+        with pytest.raises(ValueError):
+            lane.schedule(4.0, lambda t: None, 4.0)
+
+    def test_past_times_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        lane = sim.open_lane()
+        with pytest.raises(ValueError):
+            lane.schedule(5.0, lambda t: None, 5.0)
+
+    def test_block_reservation_is_finite(self):
+        sim = Simulator()
+        lane = sim.open_lane()
+        # Exhausting the block must fail loudly, not silently corrupt
+        # the ordering; simulate by jumping the internal cursor.
+        lane._k = ArrivalLane._SPAN
+        with pytest.raises(OverflowError):
+            lane.schedule(1.0, lambda t: None, 1.0)
