@@ -44,6 +44,7 @@ from .experiments.sweep import (
     summary_table,
     sweep_grid,
 )
+from .metrics.export import Artifact, multi_result_tables, scenario_result_tables
 from .metrics.report import (
     comparison_table,
     goodput_table,
@@ -253,18 +254,23 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             f"{args.file} declares sweep axes; run it with "
             "`repro scenario sweep --file ...`"
         )
+    fmt = getattr(args, "format", "table")
+    markdown = args.markdown or fmt == "md"
     if isinstance(scenario, MultiScenario):
         result = run_multi_scenario(scenario)
+        if fmt in ("csv", "json"):
+            _write_result_artifact(scenario, multi_result_tables(result), fmt)
+            return 0
         pools = ", ".join(result.pool_ids)
         print(f"shared cluster {scenario.label()}: "
               f"{len(scenario.tenants)} apps over pools [{pools}]")
-        print(per_app_table(result.summaries, markdown=args.markdown))
+        print(per_app_table(result.summaries, markdown=markdown))
         print()
-        print(per_app_drop_table(result, markdown=args.markdown))
+        print(per_app_drop_table(result, markdown=markdown))
         reports = {k: v for k, v in result.goodputs.items() if v is not None}
         if reports:
             print("\ngoodput under declared SLO constraints:")
-            print(goodput_table(reports, markdown=args.markdown))
+            print(goodput_table(reports, markdown=markdown))
         agg = result.aggregate
         print(f"\naggregate: goodput {agg.goodput:.1f}/s "
               f"drop {agg.drop_rate:.2%} invalid {agg.invalid_rate:.2%}")
@@ -272,22 +278,102 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             print(f"  {line}")
         return 0
     result = run_scenario(scenario)
+    if fmt in ("csv", "json"):
+        _write_result_artifact(scenario, scenario_result_tables(result), fmt)
+        return 0
     trace = result.trace
     print(f"scenario {scenario.label()}: trace {trace.name} "
           f"({trace.mean_rate:.0f} req/s mean, {trace.duration:.0f}s)")
     print(comparison_table({result.policy_name: result},
-                           markdown=args.markdown))
+                           markdown=markdown))
     print()
     print(per_module_drop_table({result.policy_name: result},
-                                markdown=args.markdown))
+                                markdown=markdown))
     if result.goodput is not None:
         print("\ngoodput under declared SLO constraints:")
         print(goodput_table({result.policy_name: result.goodput},
-                            markdown=args.markdown))
+                            markdown=markdown))
     print()
     print(policy_descriptions({result.policy_name: result}))
     for line in result.failure_log:
         print(f"  {line}")
+    return 0
+
+
+def _write_result_artifact(scenario, tables, fmt: str) -> None:
+    """Emit one scenario run's tables as a CSV/JSON artifact on stdout."""
+    artifact = Artifact(
+        name=scenario.label(),
+        tables=tuple(tables),
+        meta={
+            "scenario": scenario.label(),
+            "fingerprint": scenario.fingerprint(),
+        },
+    )
+    sys.stdout.write(
+        artifact.csv_text() if fmt == "csv" else artifact.json_text()
+    )
+
+
+def cmd_scenario_render(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args.file)
+    if isinstance(scenario, SweepSpec):
+        raise SystemExit(
+            f"{args.file} declares sweep axes; render one concrete "
+            "scenario instead"
+        )
+    from .studies.render import render_timeline
+
+    try:
+        artifact = render_timeline(scenario, window=args.window)
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(str(exc)) from None
+    fmt = args.format
+    if fmt == "csv":
+        text = artifact.csv_text()
+    elif fmt == "json":
+        text = artifact.json_text()
+    else:
+        text = artifact.console_text(markdown=(fmt == "md")) + "\n"
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_study_run(args: argparse.Namespace) -> int:
+    from .studies import load_study_file, run_study
+
+    try:
+        study = load_study_file(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"study file not found: {args.file}") from None
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        raise SystemExit(f"invalid study file {args.file}: {exc}") from None
+
+    def progress(event: SweepEvent) -> None:
+        if not args.quiet and event.kind != "start":
+            status = {"cached": "cached", "done": "done",
+                      "error": "ERROR"}[event.kind]
+            print(f"{event.cell.label()}: {status} ({event.elapsed:.1f}s)",
+                  file=sys.stderr)
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        result = run_study(study, workers=args.workers, cache_dir=cache_dir,
+                           on_event=progress)
+    except (ValueError, KeyError, RuntimeError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(result.artifact.console_text(markdown=args.markdown))
+    print(f"cells: {result.cells_total} total, "
+          f"{result.cells_simulated} simulated, "
+          f"{result.cells_cached} cached", file=sys.stderr)
+    for path in result.artifact.write(args.save_artifacts):
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -375,6 +461,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_merge(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    if not args.inputs:
+        raise SystemExit(
+            "no shard files given: pass the --save-summaries files "
+            "written by each `--shard i/N` run"
+        )
     texts = []
     for path in args.inputs:
         try:
@@ -480,7 +571,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_scn_run.add_argument("--file", required=True,
                            help="path to a scenario JSON file")
     p_scn_run.add_argument("--markdown", action="store_true")
+    p_scn_run.add_argument(
+        "--format", choices=("table", "md", "csv", "json"), default="table",
+        help="summary output format (default: the classic text tables; "
+             "csv/json emit a structured artifact on stdout)",
+    )
     p_scn_run.set_defaults(fn=cmd_scenario_run)
+
+    p_scn_render = scn_sub.add_parser(
+        "render",
+        help="render a scenario's timeline: declared rate envelope vs "
+             "failure schedule vs measured goodput, in fixed windows",
+    )
+    p_scn_render.add_argument("--file", required=True,
+                              help="path to a scenario JSON file")
+    p_scn_render.add_argument("--window", type=float, default=1.0,
+                              help="timeline bin width in seconds")
+    p_scn_render.add_argument(
+        "--format", choices=("table", "md", "csv", "json"), default="table",
+    )
+    p_scn_render.add_argument("--out", default=None, metavar="PATH",
+                              help="write here instead of stdout")
+    p_scn_render.set_defaults(fn=cmd_scenario_render)
 
     p_scn_sweep = scn_sub.add_parser(
         "sweep", help="sweep one scenario over policies x seeds"
@@ -498,6 +610,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_exec_args(p_scn_sweep)
     p_scn_sweep.set_defaults(fn=cmd_scenario_sweep)
 
+    p_study = sub.add_parser(
+        "study",
+        help="run a declarative study file (interference grid or "
+             "capacity planner) and export byte-stable artifacts",
+    )
+    study_sub = p_study.add_subparsers(dest="study_command", required=True)
+    p_study_run = study_sub.add_parser(
+        "run", help="run one study and write console + CSV + JSON artifacts"
+    )
+    p_study_run.add_argument("file", help="path to a study JSON file")
+    p_study_run.add_argument("--workers", type=int, default=None,
+                             help="process-pool size (default: CPU count)")
+    p_study_run.add_argument("--cache-dir", default=".sweep_cache",
+                             help="on-disk sweep-cell cache location")
+    p_study_run.add_argument("--no-cache", action="store_true",
+                             help="always recompute, never read or write "
+                                  "the cache")
+    p_study_run.add_argument("--quiet", action="store_true",
+                             help="suppress per-cell progress on stderr")
+    p_study_run.add_argument("--markdown", action="store_true")
+    p_study_run.add_argument(
+        "--save-artifacts", nargs="?", const="artifacts", default="artifacts",
+        metavar="DIR",
+        help="directory for the <study>.json/<study>.csv artifacts "
+             "(default: artifacts/)",
+    )
+    p_study_run.set_defaults(fn=cmd_study_run)
+
     p_bench = sub.add_parser(
         "bench",
         help="time the canonical simulation workloads and verify the "
@@ -511,9 +651,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--profile", type=int, default=0, metavar="N",
                          help="also cProfile one pass and print the top N "
                               "functions by cumulative time")
-    p_bench.add_argument("--out", default="BENCH_8.json", metavar="PATH",
+    p_bench.add_argument("--out", default="BENCH_9.json", metavar="PATH",
                          help="write the JSON report here (default: "
-                              "BENCH_8.json; empty string to skip)")
+                              "BENCH_9.json; empty string to skip)")
     p_bench.add_argument("--baseline", default=None, metavar="PATH",
                          help="earlier report to compute the speedup against")
     p_bench.add_argument("--scenarios", default="examples/scenarios",
@@ -530,7 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
              "serial-order summaries file (byte-identical to an unsharded "
              "run)",
     )
-    p_merge.add_argument("inputs", nargs="+",
+    p_merge.add_argument("inputs", nargs="*",
                          help="shard summaries files written by "
                               "`--shard i/N --save-summaries`")
     p_merge.add_argument("-o", "--out", default=None, metavar="PATH",

@@ -524,6 +524,7 @@ def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
                 metrics=MetricsCollector(lean=lean, goodput=s.goodput),
                 router=None if s.router is None else s.router.build(seed),
                 batch_plan=plan_batch_sizes(app.spec, registry, app.slo),
+                quota=tenant_spec.quota,
             )
         )
     if multi.workers is not None:

@@ -1049,10 +1049,18 @@ class TenantSpec:
     app, trace shape, policy and seed; cluster-level knobs (workers,
     scaling, failures, calibration) live on the enclosing
     :class:`MultiScenario` and are rejected on tenants.
+
+    ``quota`` caps how many workers of a shared pool this tenant may
+    dispatch to: an int applies to every pool the tenant is a member of,
+    a ``{pool key: n}`` dict caps per pool (unlisted pools stay
+    uncapped).  A quota larger than a pool is a no-op — it bounds the
+    tenant, it does not reserve capacity.  This is the intra-pool
+    isolation knob interference studies sweep.
     """
 
     scenario: Scenario
     weight: float = 1.0
+    quota: int | dict[str, int] | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.scenario, dict):
@@ -1061,6 +1069,34 @@ class TenantSpec:
             )
         if self.weight <= 0:
             raise ValueError("tenant weight must be > 0")
+        if isinstance(self.quota, dict):
+            cleaned = {}
+            for key, value in self.quota.items():
+                if int(value) != value:
+                    raise ValueError(
+                        f"tenant quota[{key!r}] must be an integer, "
+                        f"got {value}"
+                    )
+                if value < 1:
+                    raise ValueError(
+                        f"tenant quota[{key!r}] must be >= 1, got {value}"
+                    )
+                cleaned[str(key)] = int(value)
+            if not cleaned:
+                raise ValueError(
+                    "a tenant quota mapping needs at least one pool entry"
+                )
+            object.__setattr__(self, "quota", cleaned)
+        elif self.quota is not None:
+            if int(self.quota) != self.quota:
+                raise ValueError(
+                    f"tenant quota must be an integer, got {self.quota}"
+                )
+            if self.quota < 1:
+                raise ValueError(
+                    f"tenant quota must be >= 1, got {self.quota}"
+                )
+            object.__setattr__(self, "quota", int(self.quota))
 
     def label(self) -> str:
         """The tenant's identity inside the shared cluster."""
@@ -1068,16 +1104,25 @@ class TenantSpec:
         return s.name or s.app.name or s.app.pipeline
 
     def to_dict(self) -> dict:
-        return {"weight": self.weight, "scenario": self.scenario.to_dict()}
+        out = {"weight": self.weight, "scenario": self.scenario.to_dict()}
+        # Emitted only when set, so pre-quota specs keep their serialized
+        # form — and therefore their cache fingerprints.
+        if self.quota is not None:
+            out["quota"] = (
+                dict(self.quota) if isinstance(self.quota, dict)
+                else self.quota
+            )
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "TenantSpec":
-        _check_keys(data, {"weight", "scenario"}, "tenant")
+        _check_keys(data, {"weight", "scenario", "quota"}, "tenant")
         if "scenario" not in data:
             raise ValueError("tenant entry missing required key 'scenario'")
         return cls(
             scenario=Scenario.from_dict(data["scenario"]),
             weight=float(data.get("weight", 1.0)),
+            quota=data.get("quota"),
         )
 
 
@@ -1291,8 +1336,22 @@ class MultiScenario:
             self.admission.validate(kind="admission")
         # Authoritative pool-target pass (construction already checked when
         # every app name was registered at that point).
-        pools, _ = self.pool_layout()
+        pools, by_member = self.pool_layout()
         self._check_pool_targets(pools)
+        for tenant in self.tenants:
+            if not isinstance(tenant.quota, dict):
+                continue
+            label = tenant.label()
+            member_pools = {
+                key for (tname, _), key in by_member.items() if tname == label
+            }
+            unknown = set(tenant.quota) - member_pools
+            if unknown:
+                raise ValueError(
+                    f"tenant {label!r} quota references pools it is not a "
+                    f"member of: {sorted(unknown)}; its pools: "
+                    f"{sorted(member_pools)}"
+                )
         return self
 
     # -- serialisation -----------------------------------------------------
@@ -1403,15 +1462,41 @@ def _apply_axis(
     (``seed``, ``drain``, ``workers``), a nested section field
     (``trace.base_rate``, ``scaling.cold_start``), a whole policy
     (``policy``) or one policy parameter (``policy.lam``,
-    ``admission.rate``).  On a :class:`MultiScenario`, policy axes apply to
-    *every* tenant — the grid compares configurations, not tenant mixes.
+    ``admission.rate``).  On a :class:`MultiScenario`, policy and
+    ``trace.*`` axes apply to *every* tenant — the grid compares
+    configurations, not tenant mixes — while ``tenant.<label>.<rest>``
+    addresses one tenant: its ``weight`` or ``quota``, or any
+    single-scenario axis of its wrapped scenario
+    (``tenant.burst.trace.base_rate``).
     """
     if isinstance(spec, MultiScenario):
-        if axis == "policy" or axis.startswith("policy."):
+        if axis == "policy" or axis.startswith(("policy.", "trace.")):
             return replace(spec, tenants=tuple(
                 replace(t, scenario=_apply_axis(t.scenario, axis, value))
                 for t in spec.tenants
             ))
+        if axis.startswith("tenant."):
+            _, _, tail = axis.partition(".")
+            label, _, rest = tail.partition(".")
+            if not label or not rest:
+                raise ValueError(
+                    f"tenant axis {axis!r} must be 'tenant.<label>.<field>'"
+                )
+            labels = [t.label() for t in spec.tenants]
+            if label not in labels:
+                raise ValueError(
+                    f"axis {axis!r} references unknown tenant {label!r}; "
+                    f"tenants: {labels}"
+                )
+            def _bump(t: TenantSpec) -> TenantSpec:
+                if t.label() != label:
+                    return t
+                if rest in ("weight", "quota"):
+                    return replace(t, **{rest: value})
+                return replace(t, scenario=_apply_axis(t.scenario, rest, value))
+            return replace(
+                spec, tenants=tuple(_bump(t) for t in spec.tenants)
+            )
         if axis == "admission":
             return replace(spec, admission=PolicySpec.coerce(value))
         if axis.startswith("admission."):

@@ -627,12 +627,22 @@ def merge_summaries(texts: Iterable[str]) -> str:
         if not isinstance(part, list):
             raise ValueError("merge input is not a summaries file")
         for entry in part:
-            if "index" not in entry:
+            if not isinstance(entry, dict):
                 raise ValueError(
-                    "summary entry missing 'index': merge inputs must be "
-                    "shard files written by a --shard run"
+                    "merge input is not a summaries file: entries must be "
+                    f"objects, got {type(entry).__name__}"
+                )
+            index = entry.get("index")
+            if (index is None or isinstance(index, bool)
+                    or not isinstance(index, int) or index < 0):
+                raise ValueError(
+                    "summary entry missing a non-negative integer 'index': "
+                    "merge inputs must be shard files written by a "
+                    "--shard run"
                 )
             entries.append(entry)
+    if not entries:
+        raise ValueError("merge inputs contain no summary entries")
     entries.sort(key=lambda e: e["index"])
     indices = [e["index"] for e in entries]
     if indices != list(range(len(entries))):

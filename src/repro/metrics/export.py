@@ -1,0 +1,286 @@
+"""Exporter layer: tabular results as console text, CSV and JSON artifacts.
+
+The genai-perf ``console_exporter`` shape applied to this harness: a result
+is a list of :class:`TableData` (plain columns + scalar rows) wrapped in an
+:class:`Artifact`, and every output format renders from that one source.
+The renderers are **byte-stable**: output is a pure function of the table
+values — no timestamps, no cache/timing bookkeeping, floats serialized via
+their shortest round-trip ``repr`` — so the same study run serially, in a
+process pool or from cache exports bit-identical artifacts, and committed
+goldens can gate them in CI.
+
+Consumed by :mod:`repro.studies` (interference/capacity artifacts) and by
+``repro scenario run --format csv|json`` (the structured form of the
+existing summary tables).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from .analysis import drops_per_module
+from .report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiments.runner import ExperimentResult, MultiResult
+
+__all__ = [
+    "Artifact",
+    "TableData",
+    "cell_text",
+    "multi_result_tables",
+    "render_console",
+    "render_csv",
+    "render_json",
+    "scenario_result_tables",
+]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def cell_text(value: Any) -> str:
+    """Canonical text form of one cell (CSV cells, unformatted console).
+
+    Floats use ``repr`` — the shortest round-trip spelling, identical
+    across processes and platforms — so the text form is as byte-stable
+    as the value itself.  ``None`` renders empty, bools lowercase.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TableData:
+    """One named table of scalar cells — the unit every exporter renders.
+
+    ``formats`` optionally carries one :func:`format` spec per column
+    (e.g. ``".2f"``, ``".2%"``) applied by the *console* renderer only;
+    CSV/JSON always export the raw full-precision values.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...] = ()
+    formats: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "columns", tuple(str(c) for c in self.columns)
+        )
+        if not self.columns:
+            raise ValueError(f"table {self.name!r} needs at least one column")
+        rows = tuple(tuple(r) for r in self.rows)
+        for row in rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"table {self.name!r}: row has {len(row)} cells, "
+                    f"expected {len(self.columns)}"
+                )
+            for value in row:
+                if not isinstance(value, _SCALARS):
+                    raise ValueError(
+                        f"table {self.name!r}: cells must be scalars, got "
+                        f"{type(value).__name__}"
+                    )
+        object.__setattr__(self, "rows", rows)
+        formats = tuple(self.formats)
+        if formats and len(formats) != len(self.columns):
+            raise ValueError(
+                f"table {self.name!r}: formats must cover every column"
+            )
+        object.__setattr__(self, "formats", formats)
+
+    def _display_cell(self, value: Any, spec: "str | None") -> str:
+        if spec is None or value is None or isinstance(value, str):
+            return cell_text(value)
+        return format(value, spec)
+
+    def display_rows(self) -> list[list[str]]:
+        """Rows as console strings, per-column formats applied."""
+        formats = self.formats or (None,) * len(self.columns)
+        return [
+            [self._display_cell(v, f) for v, f in zip(row, formats)]
+            for row in self.rows
+        ]
+
+
+def _csv_cell(value: Any) -> str:
+    text = cell_text(value)
+    if any(c in text for c in (",", '"', "\n")):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def render_console(
+    tables: Sequence[TableData], markdown: bool = False
+) -> str:
+    """All tables as aligned text (or markdown), one titled block each."""
+    blocks = []
+    for table in tables:
+        header = f"{table.name}:"
+        body = format_table(table.columns, table.display_rows(),
+                           markdown=markdown)
+        blocks.append(f"{header}\n{body}")
+    return "\n\n".join(blocks)
+
+
+def render_csv(tables: Sequence[TableData]) -> str:
+    """All tables as CSV blocks, each preceded by a ``# name`` comment."""
+    blocks = []
+    for table in tables:
+        lines = [f"# {table.name}",
+                 ",".join(_csv_cell(c) for c in table.columns)]
+        lines.extend(
+            ",".join(_csv_cell(v) for v in row) for row in table.rows
+        )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def render_json(
+    tables: Sequence[TableData], meta: "dict | None" = None
+) -> str:
+    """The canonical JSON artifact: sorted keys, indent 2, one newline.
+
+    The same serialization discipline as sweep ``--save-summaries`` files,
+    so artifact files diff bitwise across worker counts and against
+    committed goldens.
+    """
+    payload = {
+        "meta": dict(meta or {}),
+        "tables": {
+            t.name: {
+                "columns": list(t.columns),
+                "rows": [list(row) for row in t.rows],
+            }
+            for t in tables
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A named bundle of tables plus metadata, exportable in every format."""
+
+    name: str
+    tables: tuple[TableData, ...]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tables", tuple(self.tables))
+        if not self.name:
+            raise ValueError("an artifact needs a name")
+
+    def console_text(self, markdown: bool = False) -> str:
+        return render_console(self.tables, markdown=markdown)
+
+    def csv_text(self) -> str:
+        return render_csv(self.tables)
+
+    def json_text(self) -> str:
+        return render_json(self.tables, self.meta)
+
+    def write(self, directory: "str | Path") -> list[Path]:
+        """Write ``<name>.json`` and ``<name>.csv`` under ``directory``."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for suffix, text in ((".json", self.json_text()),
+                             (".csv", self.csv_text())):
+            path = out / f"{self.name}{suffix}"
+            path.write_text(text)
+            paths.append(path)
+        return paths
+
+
+_SUMMARY_COLUMNS = ("goodput", "drop_rate", "invalid_rate", "good", "total")
+_SUMMARY_FORMATS = (".2f", ".2%", ".2%", None, None)
+
+
+def _summary_cells(summary) -> tuple:
+    return (summary.goodput, summary.drop_rate, summary.invalid_rate,
+            summary.good, summary.total)
+
+
+def _goodput_table(reports: dict) -> TableData:
+    rows = []
+    for label, r in reports.items():
+        rows.append((label, r.good, r.completed, r.total, r.good_fraction,
+                     r.goodput, r.tokens_out, r.ttft_met, r.tpot_met,
+                     r.e2e_met))
+    return TableData(
+        name="goodput",
+        columns=("name", "good", "completed", "total", "good_fraction",
+                 "goodput", "tokens_out", "ttft_met", "tpot_met", "e2e_met"),
+        rows=tuple(rows),
+        formats=(None, None, None, None, ".2%", ".2f", None, None, None,
+                 None),
+    )
+
+
+def scenario_result_tables(result: "ExperimentResult") -> list[TableData]:
+    """The structured form of ``repro scenario run``'s single-app report."""
+    tables = [
+        TableData(
+            name="summary",
+            columns=("policy", *_SUMMARY_COLUMNS),
+            rows=((result.policy_name, *_summary_cells(result.summary)),),
+            formats=(None, *_SUMMARY_FORMATS),
+        )
+    ]
+    module_ids = list(result.module_ids)
+    shares = drops_per_module(result.collector, module_ids)
+    tables.append(TableData(
+        name="module_drops",
+        columns=("policy", *module_ids),
+        rows=((result.policy_name, *(shares[m] for m in module_ids)),),
+        formats=(None, *(".2%",) * len(module_ids)),
+    ))
+    if result.goodput is not None:
+        tables.append(_goodput_table({result.policy_name: result.goodput}))
+    return tables
+
+
+def multi_result_tables(result: "MultiResult") -> list[TableData]:
+    """The structured form of the shared-cluster (multi-tenant) report."""
+    tables = [
+        TableData(
+            name="per_app",
+            columns=("app", *_SUMMARY_COLUMNS),
+            rows=tuple(
+                (label, *_summary_cells(s))
+                for label, s in result.summaries.items()
+            ),
+            formats=(None, *_SUMMARY_FORMATS),
+        )
+    ]
+    pool_ids = list(result.pool_ids)
+    drop_rows = []
+    for label, collector in result.collectors.items():
+        shares = drops_per_module(collector, pool_ids)
+        drop_rows.append((label, *(shares[p] for p in pool_ids)))
+    tables.append(TableData(
+        name="per_app_drops",
+        columns=("app", *pool_ids),
+        rows=tuple(drop_rows),
+        formats=(None, *(".2%",) * len(pool_ids)),
+    ))
+    reports = {k: v for k, v in result.goodputs.items() if v is not None}
+    if reports:
+        tables.append(_goodput_table(reports))
+    tables.append(TableData(
+        name="aggregate",
+        columns=_SUMMARY_COLUMNS,
+        rows=(_summary_cells(result.aggregate),),
+        formats=_SUMMARY_FORMATS,
+    ))
+    return tables

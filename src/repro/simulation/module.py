@@ -56,6 +56,11 @@ class Module:
         # only ever starts in drain_worker).  Recomputed lazily once a
         # drain has been requested.
         self._maybe_draining = False
+        # Per-app worker quota (app name -> max dispatchable workers).
+        # Installed by SharedCluster on shared pools whose tenants declare
+        # quotas; None (the default everywhere else) keeps receive() on
+        # its quota-free path.
+        self._quota_of: dict[str, int] | None = None
         # Admission hook, resolved once: most policies inherit the base
         # no-op on_admit, in which case receive() skips the call outright.
         policy = cluster.policy
@@ -204,6 +209,13 @@ class Module:
                 self.cluster.drop(request, self.spec.id, reason)
                 return
         workers = self.workers
+        if self._quota_of is not None:
+            # A quota confines the app to a prefix of the pool: its
+            # requests only ever dispatch to (and queue at) the first q
+            # workers, so a noisy tenant cannot occupy the whole pool.
+            q = self._quota_of.get(request.app)
+            if q is not None and q < len(workers):
+                workers = workers[:q]
         if not self._maybe_draining:
             # Fast path: no drain has been requested, every worker is a
             # candidate — skip the per-request filtering allocation.
@@ -213,7 +225,9 @@ class Module:
             self.dispatcher.pick(workers).enqueue(request)
             return
         candidates = [w for w in workers if not w.draining]
-        if len(candidates) == len(workers):
+        if len(candidates) == len(workers) and workers is self.workers:
+            # Only a full-pool scan may clear the flag: a quota slice
+            # proves nothing about the workers it cut off.
             self._maybe_draining = False  # every drainer has been reaped
         if not candidates:
             if not workers:

@@ -55,7 +55,12 @@ AdmissionHook = Callable[[Request, Module, float], "DropReason | None"]
 
 @dataclass
 class Tenant:
-    """One application hosted on a shared cluster."""
+    """One application hosted on a shared cluster.
+
+    ``quota`` caps how many workers of a shared pool this tenant's
+    requests may dispatch to: an int applies to every pool the tenant is
+    a member of, a ``{pool key: n}`` dict caps per pool.
+    """
 
     name: str
     app: Application
@@ -63,6 +68,7 @@ class Tenant:
     metrics: MetricsCollector = field(default_factory=MetricsCollector)
     router: PathRouter | None = None
     batch_plan: dict[str, int] | None = None  # module id -> target batch
+    quota: int | dict[str, int] | None = None
 
 
 @dataclass(frozen=True)
@@ -289,6 +295,21 @@ class SharedCluster:
                 n_workers=n,
                 stats_window=stats_window,
             )
+
+        # Per-pool worker quotas, installed only where a member tenant
+        # declares one (dedicated clusters and quota-free pools keep the
+        # None fast path in Module.receive).
+        for key, pool in self.pool_specs.items():
+            quota_map: dict[str, int] = {}
+            for tname, _ in pool.members:
+                quota = self.tenants[tname].quota
+                if isinstance(quota, dict):
+                    if key in quota:
+                        quota_map[tname] = quota[key]
+                elif quota is not None:
+                    quota_map[tname] = quota
+            if quota_map:
+                self.pools[key]._quota_of = quota_map
 
         self.views: dict[str, TenantView] = {}
         for tenant in tenants:

@@ -1,0 +1,32 @@
+"""Declarative studies: interference grids, capacity planning, timelines.
+
+The paper-deliverable layer: one frozen study spec in, one byte-stable
+console/CSV/JSON artifact out, with every simulation routed through the
+cached sweep machinery (see :mod:`repro.experiments.sweep`).
+"""
+
+from .render import render_timeline
+from .runner import (
+    StudyResult,
+    run_capacity_study,
+    run_interference_study,
+    run_study,
+)
+from .spec import (
+    CapacityStudy,
+    InterferenceStudy,
+    load_study_file,
+    study_from_dict,
+)
+
+__all__ = [
+    "CapacityStudy",
+    "InterferenceStudy",
+    "StudyResult",
+    "load_study_file",
+    "render_timeline",
+    "run_capacity_study",
+    "run_interference_study",
+    "run_study",
+    "study_from_dict",
+]

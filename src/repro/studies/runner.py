@@ -1,0 +1,248 @@
+"""Execute studies over the cached sweep machinery and export artifacts.
+
+Every study compiles to :class:`~repro.experiments.sweep.SweepCell`s and
+runs through :func:`~repro.experiments.sweep.run_sweep` — so studies
+inherit the sweep subsystem's guarantees wholesale: bitwise-identical
+results across worker counts, per-cell disk caching, failure isolation.
+Artifact contents are a pure function of the study spec (cache/timing
+bookkeeping stays out of the tables and lands on the
+:class:`StudyResult` counters instead), so serial, parallel and
+cache-warmed runs export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..experiments.scenario import MultiScenario
+from ..experiments.sweep import CellResult, SweepCell, run_sweep
+from ..metrics.export import Artifact, TableData
+from ..policies.spec import PolicySpec
+from .spec import CapacityStudy, InterferenceStudy
+
+__all__ = ["StudyResult", "run_capacity_study", "run_interference_study",
+           "run_study"]
+
+
+@dataclass
+class StudyResult:
+    """One study's exportable artifact plus run bookkeeping.
+
+    ``cells_simulated``/``cells_cached`` count fresh vs cache-served
+    sweep cells — reporting-only state that never enters the artifact.
+    """
+
+    study: "InterferenceStudy | CapacityStudy"
+    artifact: Artifact
+    cells_total: int
+    cells_simulated: int
+    cells_cached: int
+
+
+def _checked(result: CellResult) -> CellResult:
+    if not result.ok:
+        tail = (result.error or "").strip().splitlines()[-1:] or ["?"]
+        raise RuntimeError(
+            f"study cell {result.cell.label()!r} failed: {tail[0]}"
+        )
+    return result
+
+
+def _axis_cell(value) -> "str | int | float | bool | None":
+    """Axis values as artifact cells (policy axes export their label)."""
+    if isinstance(value, PolicySpec):
+        return value.label()
+    return value
+
+
+def _good_fraction(result: CellResult, app: "str | None" = None) -> float:
+    """The goodput fraction a study optimizes/reports for one cell.
+
+    Declared token/e2e constraints win (``GoodputReport.good_fraction``);
+    otherwise the SLO-based good share from the summary.  ``app`` narrows
+    a shared-cluster cell to one tenant.
+    """
+    if app is not None:
+        report = (result.per_app_goodput or {}).get(app)
+        if report is not None:
+            return report.good_fraction
+        return result.per_app[app].mean_goodput_normalized
+    if result.goodput is not None:
+        return result.goodput.good_fraction
+    return result.summary.mean_goodput_normalized
+
+
+def run_interference_study(
+    study: InterferenceStudy,
+    workers: "int | None" = None,
+    cache_dir: "str | os.PathLike | None" = ".sweep_cache",
+    on_event=None,
+) -> StudyResult:
+    """Run the full interference grid and tabulate victim vs aggressor.
+
+    One row per grid cell: the axis values, then the victim's goodput /
+    goodput fraction / drop rate, the aggressor's goodput / drop rate and
+    the cluster aggregate goodput.  Cells run lean (streaming counters
+    only) — everything the table needs survives lean mode.
+    """
+    study.validate()
+    points = study.expand()
+    cells = [SweepCell(multi=spec, lean=True) for _, spec in points]
+    results = run_sweep(cells, workers=workers, cache_dir=cache_dir,
+                        on_event=on_event)
+    axis_names = study.axis_names()
+    rows = []
+    for (vals, _), result in zip(points, results):
+        _checked(result)
+        victim = result.per_app[study.victim]
+        aggressor = result.per_app[study.aggressor]
+        rows.append((
+            *(_axis_cell(vals[a]) for a in axis_names),
+            victim.goodput,
+            _good_fraction(result, study.victim),
+            victim.drop_rate,
+            aggressor.goodput,
+            aggressor.drop_rate,
+            result.summary.goodput,
+        ))
+    table = TableData(
+        name="interference",
+        columns=(*axis_names, "victim_goodput", "victim_good_fraction",
+                 "victim_drop_rate", "aggressor_goodput",
+                 "aggressor_drop_rate", "total_goodput"),
+        rows=tuple(rows),
+        formats=(*(None,) * len(axis_names),
+                 ".2f", ".2%", ".2%", ".2f", ".2%", ".2f"),
+    )
+    artifact = Artifact(
+        name=study.name or "interference",
+        tables=(table,),
+        meta={
+            "study": study.kind,
+            "name": study.name,
+            "victim": study.victim,
+            "aggressor": study.aggressor,
+            "cells": len(cells),
+            "base_fingerprint": study.base.fingerprint(),
+        },
+    )
+    cached = sum(1 for r in results if r.cached)
+    return StudyResult(
+        study=study,
+        artifact=artifact,
+        cells_total=len(cells),
+        cells_simulated=len(cells) - cached,
+        cells_cached=cached,
+    )
+
+
+def run_capacity_study(
+    study: CapacityStudy,
+    workers: "int | None" = None,
+    cache_dir: "str | os.PathLike | None" = ".sweep_cache",
+    on_event=None,
+) -> StudyResult:
+    """Bisect worker counts per rate over the sweep cache.
+
+    The goodput fraction is monotone non-decreasing in uniform worker
+    count (more replicas never hurt), so a classic bisection finds the
+    smallest satisfying count in ``O(log range)`` probes.  Each probe is
+    one cached sweep cell — rerunning the study (or widening its rate
+    list) re-simulates only the probes the cache has never seen.
+
+    ``workers`` is accepted for CLI symmetry; probes are inherently
+    sequential (each one decides the next), so it does not change the
+    result — nor the artifact, which is cache/parallelism independent.
+    """
+    del workers  # probes are sequential; kept for a uniform call shape
+    study.validate()
+    probes: list[tuple] = []
+    summary_rows: list[tuple] = []
+    simulated = cached = 0
+
+    def evaluate(rate: float, n: int) -> float:
+        nonlocal simulated, cached
+        spec = study.spec_at(rate, n)
+        if isinstance(spec, MultiScenario):
+            cell = SweepCell(multi=spec, lean=True)
+        else:
+            cell = SweepCell(scenario=spec, lean=True)
+        result = _checked(run_sweep([cell], workers=1, cache_dir=cache_dir,
+                                    on_event=on_event)[0])
+        if result.cached:
+            cached += 1
+        else:
+            simulated += 1
+        fraction = _good_fraction(result)
+        probes.append((rate, n, fraction, fraction >= study.target))
+        return fraction
+
+    for rate in study.rates:
+        lo, hi = study.min_workers, study.max_workers
+        best = evaluate(rate, hi)
+        if best < study.target:
+            # Even the ceiling misses the target: report unsatisfiable.
+            summary_rows.append((rate, None, best, False))
+            continue
+        fraction = evaluate(rate, lo)
+        if fraction >= study.target:
+            summary_rows.append((rate, lo, fraction, True))
+            continue
+        at_hi = best
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            fraction = evaluate(rate, mid)
+            if fraction >= study.target:
+                hi, at_hi = mid, fraction
+            else:
+                lo = mid
+        summary_rows.append((rate, hi, at_hi, True))
+
+    capacity = TableData(
+        name="capacity",
+        columns=("rate", "required_workers", "good_fraction", "satisfiable"),
+        rows=tuple(summary_rows),
+        formats=(None, None, ".2%", None),
+    )
+    probe_table = TableData(
+        name="probes",
+        columns=("rate", "workers", "good_fraction", "meets_target"),
+        rows=tuple(probes),
+        formats=(None, None, ".2%", None),
+    )
+    artifact = Artifact(
+        name=study.name or "capacity",
+        tables=(capacity, probe_table),
+        meta={
+            "study": study.kind,
+            "name": study.name,
+            "target": study.target,
+            "min_workers": study.min_workers,
+            "max_workers": study.max_workers,
+            "base_fingerprint": study.base.fingerprint(),
+        },
+    )
+    return StudyResult(
+        study=study,
+        artifact=artifact,
+        cells_total=simulated + cached,
+        cells_simulated=simulated,
+        cells_cached=cached,
+    )
+
+
+def run_study(
+    study: "InterferenceStudy | CapacityStudy",
+    workers: "int | None" = None,
+    cache_dir: "str | os.PathLike | None" = ".sweep_cache",
+    on_event=None,
+) -> StudyResult:
+    """Dispatch one study to its runner by kind."""
+    if isinstance(study, InterferenceStudy):
+        return run_interference_study(study, workers=workers,
+                                      cache_dir=cache_dir, on_event=on_event)
+    if isinstance(study, CapacityStudy):
+        return run_capacity_study(study, workers=workers,
+                                  cache_dir=cache_dir, on_event=on_event)
+    raise TypeError(f"not a study spec: {type(study).__name__}")

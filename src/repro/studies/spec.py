@@ -1,0 +1,323 @@
+"""Declarative study specs: interference grids and capacity planning.
+
+A *study* is the paper-deliverable layer above scenarios and sweeps: one
+frozen, JSON-round-tripping spec that names the question ("how much does
+an aggressor tenant hurt the victim's goodput?", "how many replicas hold
+the SLO at X req/s?") and compiles down to the existing cached sweep
+machinery.  Study files are auto-detected by their top-level ``study``
+key, so they coexist with scenario/sweep files under one loader
+convention.
+
+Two kinds:
+
+* :class:`InterferenceStudy` — a victim/aggressor pair on a shared
+  cluster (:class:`~repro.experiments.scenario.MultiScenario`), swept
+  over aggressor load (``loads`` sets the aggressor tenant's
+  ``trace.base_rate``) crossed with any extra configuration axes
+  (``admission.rate``, ``admission.slack``, ``tenant.<label>.quota``, …
+  — the same dotted-path axis language as
+  :func:`~repro.experiments.scenario.scenario_axes`).
+* :class:`CapacityStudy` — bisects over uniform worker counts to find
+  the smallest provisioning whose goodput fraction meets ``target`` at
+  each offered rate.  Every probe is one sweep cell, so the search runs
+  over the on-disk :class:`~repro.experiments.sweep.SweepCache` and
+  re-planning never re-simulates a cached cell.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..experiments.scenario import (
+    MultiScenario,
+    Scenario,
+    _apply_axis,
+    _check_keys,
+    scenario_from_dict,
+)
+from ..policies.spec import PolicySpec
+
+__all__ = [
+    "CapacityStudy",
+    "InterferenceStudy",
+    "load_study_file",
+    "study_from_dict",
+]
+
+
+def _freeze_axes(raw) -> tuple:
+    """Normalize an axes mapping into ``((axis, (values, ...)), ...)``.
+
+    The same discipline as :class:`~repro.experiments.scenario.SweepSpec`:
+    non-empty value lists, scalars only — except the policy-valued axes,
+    whose values coerce to :class:`~repro.policies.spec.PolicySpec`.
+    """
+    items = raw.items() if isinstance(raw, dict) else raw
+    frozen: list[tuple[str, tuple]] = []
+    for axis, values in items:
+        axis = str(axis)
+        values = list(values)
+        if not values:
+            raise ValueError(f"study axis {axis!r} has no values")
+        if axis in ("policy", "admission"):
+            values = [PolicySpec.coerce(v) for v in values]
+        else:
+            bad = [v for v in values if isinstance(v, (dict, list, tuple))]
+            if bad:
+                raise ValueError(f"study axis {axis!r} values must be scalars")
+        frozen.append((axis, tuple(values)))
+    return tuple(frozen)
+
+
+def _thaw_axes(axes: tuple) -> dict:
+    return {
+        axis: [
+            v.to_compact() if isinstance(v, PolicySpec) else v
+            for v in values
+        ]
+        for axis, values in axes
+    }
+
+
+def _positive_floats(values, what: str) -> tuple[float, ...]:
+    out = tuple(float(v) for v in values)
+    if not out:
+        raise ValueError(f"a study needs at least one {what}")
+    bad = [v for v in out if v <= 0]
+    if bad:
+        raise ValueError(f"{what} values must be > 0, got {bad}")
+    return out
+
+
+@dataclass(frozen=True)
+class InterferenceStudy:
+    """Victim goodput vs aggressor load on one shared cluster.
+
+    The grid is ``axes`` (declaration order, extra configuration knobs)
+    crossed with ``loads`` (varying fastest): each cell is the base
+    :class:`MultiScenario` with the aggressor tenant's ``trace.base_rate``
+    replaced by one load value.  Per-tenant worker quotas belong in the
+    base spec (``TenantSpec.quota``) or on a ``tenant.<label>.quota``
+    axis.
+    """
+
+    kind = "interference"
+
+    base: MultiScenario
+    victim: str
+    aggressor: str
+    loads: tuple[float, ...] = ()
+    axes: tuple = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, dict):
+            object.__setattr__(
+                self, "base", MultiScenario.from_dict(self.base)
+            )
+        if not isinstance(self.base, MultiScenario):
+            raise ValueError(
+                "an interference study needs a multi-tenant base scenario "
+                "(a 'tenants' spec)"
+            )
+        object.__setattr__(
+            self, "loads", _positive_floats(self.loads, "aggressor load")
+        )
+        object.__setattr__(self, "axes", _freeze_axes(self.axes))
+        labels = self.base.tenant_names()
+        for role, label in (("victim", self.victim),
+                            ("aggressor", self.aggressor)):
+            if label not in labels:
+                raise ValueError(
+                    f"{role} {label!r} is not a tenant of the base scenario; "
+                    f"tenants: {labels}"
+                )
+        if self.victim == self.aggressor:
+            raise ValueError("victim and aggressor must be distinct tenants")
+
+    def axis_names(self) -> list[str]:
+        """Grid column names in expansion order (loads vary fastest)."""
+        return [axis for axis, _ in self.axes] + ["aggressor_rate"]
+
+    def expand(self) -> list[tuple[dict, MultiScenario]]:
+        """The grid as ``(axis values, concrete spec)`` pairs, in order."""
+        points: list[tuple[dict, MultiScenario]] = [({}, self.base)]
+        load_axis = f"tenant.{self.aggressor}.trace.base_rate"
+        for axis, values in (*self.axes,
+                             (load_axis, self.loads)):
+            column = "aggressor_rate" if axis == load_axis else axis
+            points = [
+                ({**vals, column: v}, _apply_axis(spec, axis, v))
+                for vals, spec in points
+                for v in values
+            ]
+        return points
+
+    def validate(self) -> "InterferenceStudy":
+        """Resolve every reference in every grid member up front."""
+        for _, spec in self.expand():
+            spec.validate()
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "study": self.kind,
+            "name": self.name,
+            "victim": self.victim,
+            "aggressor": self.aggressor,
+            "loads": list(self.loads),
+            "axes": _thaw_axes(self.axes),
+            "base": self.base.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InterferenceStudy":
+        _check_keys(
+            data,
+            {"study", "name", "victim", "aggressor", "loads", "axes", "base"},
+            "interference study",
+        )
+        for key in ("victim", "aggressor", "base"):
+            if key not in data:
+                raise ValueError(
+                    f"interference study missing required key {key!r}"
+                )
+        return cls(
+            base=MultiScenario.from_dict(data["base"]),
+            victim=str(data["victim"]),
+            aggressor=str(data["aggressor"]),
+            loads=tuple(data.get("loads", ())),
+            axes=tuple(dict(data.get("axes", {})).items()),
+            name=str(data.get("name", "")),
+        )
+
+
+@dataclass(frozen=True)
+class CapacityStudy:
+    """How many workers hold the goodput target at each offered rate?
+
+    For every rate in ``rates`` the planner sets each tenant's (or the
+    single app's) ``trace.base_rate`` to that rate and searches uniform
+    worker counts in ``[min_workers, max_workers]`` for the smallest one
+    whose goodput fraction reaches ``target``.  The goodput fraction is
+    the declared-constraints ``good_fraction`` when the spec carries a
+    :class:`~repro.metrics.goodput.GoodputSpec`, else the SLO-based
+    ``good / total`` share from the run summary.
+    """
+
+    kind = "capacity"
+
+    base: "Scenario | MultiScenario"
+    rates: tuple[float, ...] = ()
+    target: float = 0.95
+    min_workers: int = 1
+    max_workers: int = 16
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, dict):
+            object.__setattr__(
+                self, "base", scenario_from_dict(self.base)
+            )
+        if not isinstance(self.base, (Scenario, MultiScenario)):
+            raise ValueError(
+                "a capacity study needs a scenario or multi-scenario base"
+            )
+        object.__setattr__(
+            self, "rates", _positive_floats(self.rates, "offered rate")
+        )
+        if not 0 < self.target <= 1:
+            raise ValueError(f"target must be in (0, 1], got {self.target}")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        scenarios = (
+            [t.scenario for t in self.base.tenants]
+            if isinstance(self.base, MultiScenario) else [self.base]
+        )
+        for s in scenarios:
+            if s.trace.path is not None:
+                raise ValueError(
+                    "capacity studies need generator traces: a file-backed "
+                    "trace fixes its own arrival rate"
+                )
+            if s.utilization is not None or s.provision_rate is not None:
+                raise ValueError(
+                    "capacity studies size workers themselves; drop "
+                    "utilization/provision_rate from the base scenario"
+                )
+
+    def spec_at(
+        self, rate: float, workers: int
+    ) -> "Scenario | MultiScenario":
+        """One probe: the base at ``rate`` req/s with uniform ``workers``."""
+        from dataclasses import replace
+
+        spec = _apply_axis(self.base, "trace.base_rate", rate)
+        return replace(spec, workers=int(workers))
+
+    def validate(self) -> "CapacityStudy":
+        """Resolve references on one representative probe per rate."""
+        for rate in self.rates:
+            self.spec_at(rate, self.min_workers).validate()
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "study": self.kind,
+            "name": self.name,
+            "rates": list(self.rates),
+            "target": self.target,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "base": self.base.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapacityStudy":
+        _check_keys(
+            data,
+            {"study", "name", "rates", "target", "min_workers",
+             "max_workers", "base"},
+            "capacity study",
+        )
+        if "base" not in data:
+            raise ValueError("capacity study missing required key 'base'")
+        return cls(
+            base=scenario_from_dict(data["base"]),
+            rates=tuple(data.get("rates", ())),
+            target=float(data.get("target", 0.95)),
+            min_workers=int(data.get("min_workers", 1)),
+            max_workers=int(data.get("max_workers", 16)),
+            name=str(data.get("name", "")),
+        )
+
+
+_STUDY_KINDS = {
+    "interference": InterferenceStudy,
+    "capacity": CapacityStudy,
+}
+
+
+def study_from_dict(data: Any) -> "InterferenceStudy | CapacityStudy":
+    """Parse a study file body, dispatched on its ``study`` kind key."""
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"study file must hold a JSON object, got {type(data).__name__}"
+        )
+    kind = data.get("study")
+    if kind not in _STUDY_KINDS:
+        raise ValueError(
+            f"unknown study kind {kind!r}; expected one of "
+            f"{sorted(_STUDY_KINDS)}"
+        )
+    return _STUDY_KINDS[kind].from_dict(data)
+
+
+def load_study_file(path: "str | Path") -> "InterferenceStudy | CapacityStudy":
+    """Load and parse one study JSON file."""
+    return study_from_dict(json.loads(Path(path).read_text()))

@@ -211,3 +211,88 @@ class TestSweepSpecFile:
         grid = spec.expand()
         assert len(grid) >= 3
         assert len({s.fingerprint() for s in grid}) == len(grid)
+
+
+class TestTenantAxes:
+    """`tenant.<label>.<field>` axes address one tenant of a multi spec."""
+
+    def multi(self, **overrides) -> MultiScenario:
+        defaults = dict(
+            name="axes-pair",
+            tenants=(
+                TenantSpec(scenario=base_scenario(name="a", workers=None)),
+                TenantSpec(scenario=base_scenario(name="b", workers=None)),
+            ),
+            workers=1,
+        )
+        defaults.update(overrides)
+        return MultiScenario(**defaults)
+
+    def test_tenant_weight_axis(self):
+        grid = scenario_axes(self.multi(), {"tenant.a.weight": [0.5, 2.0]})
+        assert [spec.tenants[0].weight for spec in grid] == [0.5, 2.0]
+        assert all(spec.tenants[1].weight == 1.0 for spec in grid)
+
+    def test_tenant_quota_axis(self):
+        grid = scenario_axes(self.multi(), {"tenant.b.quota": [1, 2]})
+        assert [spec.tenants[1].quota for spec in grid] == [1, 2]
+        assert all(spec.tenants[0].quota is None for spec in grid)
+
+    def test_tenant_scenario_axis_recurses(self):
+        grid = scenario_axes(
+            self.multi(), {"tenant.a.trace.base_rate": [30.0, 60.0]}
+        )
+        assert [s.tenants[0].scenario.trace.base_rate for s in grid] == [
+            30.0, 60.0,
+        ]
+        # The other tenant keeps the authored rate.
+        assert all(
+            s.tenants[1].scenario.trace.base_rate == 120.0 for s in grid
+        )
+
+    def test_multi_trace_axis_hits_every_tenant(self):
+        grid = scenario_axes(self.multi(), {"trace.base_rate": [40.0]})
+        assert all(
+            t.scenario.trace.base_rate == 40.0 for t in grid[0].tenants
+        )
+
+    def test_unknown_tenant_rejected(self):
+        with pytest.raises(ValueError, match="unknown tenant 'ghost'"):
+            scenario_axes(self.multi(), {"tenant.ghost.weight": [1.0]})
+
+    def test_malformed_tenant_axis_rejected(self):
+        with pytest.raises(ValueError, match="tenant.<label>.<field>"):
+            scenario_axes(self.multi(), {"tenant.a": [1.0]})
+
+    def test_quota_survives_dict_round_trip_and_fingerprint(self):
+        spec = self.multi(
+            tenants=(
+                TenantSpec(scenario=base_scenario(name="a", workers=None),
+                           quota=1),
+                TenantSpec(scenario=base_scenario(name="b", workers=None),
+                           quota={"ax_a": 2}),
+            ),
+        )
+        body = json.loads(json.dumps(spec.to_dict()))
+        again = MultiScenario.from_dict(body)
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_quota_must_be_positive(self):
+        with pytest.raises(ValueError, match="quota"):
+            TenantSpec(scenario=base_scenario(name="a", workers=None),
+                       quota=0)
+        with pytest.raises(ValueError, match="quota"):
+            TenantSpec(scenario=base_scenario(name="a", workers=None),
+                       quota={"ax_a": 0})
+
+    def test_dict_quota_must_name_real_pools(self):
+        spec = self.multi(
+            tenants=(
+                TenantSpec(scenario=base_scenario(name="a", workers=None),
+                           quota={"nope": 1}),
+                TenantSpec(scenario=base_scenario(name="b", workers=None)),
+            ),
+        )
+        with pytest.raises(ValueError, match="nope"):
+            spec.validate()

@@ -244,3 +244,71 @@ class TestFailuresAndScaling:
         sim.run()
         assert any(e.kind == "scale_out_done" for e in scaler.events)
         assert {e.module_id for e in scaler.events} <= set(cluster.pools)
+
+
+class TestWorkerQuotas:
+    def test_quota_maps_installed_on_member_pools(self):
+        sim = Simulator()
+        a = Tenant(name="a", app=tiny_chain_app(n=2, slo=0.5),
+                   policy=NaivePolicy(), quota=1)
+        b = Tenant(name="b", app=tiny_chain_app(n=3, slo=0.4),
+                   policy=NaivePolicy(), quota={"gamma": 2})
+        cluster = SharedCluster(sim, [a, b], workers=2,
+                                registry=tiny_registry())
+        # Tenant a's int quota covers each of its pools; b's dict quota
+        # names gamma only, and gamma is b-exclusive.
+        assert cluster.pools["alpha"]._quota_of == {"a": 1}
+        assert cluster.pools["beta"]._quota_of == {"a": 1}
+        assert cluster.pools["gamma"]._quota_of == {"b": 2}
+
+    def test_no_quota_keeps_the_fast_path(self):
+        _, cluster = two_tenant_cluster()
+        assert all(p._quota_of is None for p in cluster.pools.values())
+
+    def test_quota_confines_dispatch_to_the_worker_prefix(self):
+        sim = Simulator()
+        a = Tenant(name="a", app=tiny_chain_app(n=2, slo=0.5),
+                   policy=NaivePolicy(), quota=1)
+        b = Tenant(name="b", app=tiny_chain_app(n=2, slo=0.5),
+                   policy=NaivePolicy())
+        cluster = SharedCluster(sim, [a, b], workers=3,
+                                registry=tiny_registry())
+        for i in range(30):
+            cluster.submit_at("a", 0.002 * i)
+        sim.run()
+        alpha = cluster.pools["alpha"]
+        # Only tenant a submitted, and its quota is 1: every execution
+        # lands on the first worker, the rest of the pool stays idle.
+        assert alpha.workers[0].telemetry.executed_requests == 30
+        assert all(w.telemetry.executed_requests == 0
+                   for w in alpha.workers[1:])
+
+    def test_unquotaed_tenant_still_spreads_over_the_pool(self):
+        sim = Simulator()
+        a = Tenant(name="a", app=tiny_chain_app(n=2, slo=0.5),
+                   policy=NaivePolicy(), quota=1)
+        b = Tenant(name="b", app=tiny_chain_app(n=2, slo=0.5),
+                   policy=NaivePolicy())
+        cluster = SharedCluster(sim, [a, b], workers=2,
+                                registry=tiny_registry())
+        for i in range(40):
+            cluster.submit_at("b", 0.001 * i)
+        sim.run()
+        alpha = cluster.pools["alpha"]
+        assert all(w.telemetry.executed_requests > 0 for w in alpha.workers)
+
+    def test_quota_larger_than_pool_is_a_noop(self):
+        sim = Simulator()
+        a = Tenant(name="a", app=tiny_chain_app(n=2, slo=0.5),
+                   policy=NaivePolicy(), quota=16)
+        b = Tenant(name="b", app=tiny_chain_app(n=2, slo=0.5),
+                   policy=NaivePolicy())
+        cluster = SharedCluster(sim, [a, b], workers=2,
+                                registry=tiny_registry())
+        for i in range(40):
+            cluster.submit_at("a", 0.001 * i)
+        sim.run()
+        alpha = cluster.pools["alpha"]
+        assert all(w.telemetry.executed_requests > 0 for w in alpha.workers)
+        records = cluster.views["a"].metrics.records
+        assert len(records) == 40

@@ -1,0 +1,128 @@
+"""Tests for the exporter layer (console/CSV/JSON artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.export import (
+    Artifact,
+    TableData,
+    cell_text,
+    render_console,
+    render_csv,
+    render_json,
+)
+
+
+def small_table() -> TableData:
+    return TableData(
+        name="demo",
+        columns=("name", "rate", "ok"),
+        rows=(("a", 1.5, True), ("b", 0.25, False)),
+        formats=(None, ".2f", None),
+    )
+
+
+class TestCellText:
+    def test_none_renders_empty(self):
+        assert cell_text(None) == ""
+
+    def test_bools_lowercase(self):
+        assert cell_text(True) == "true"
+        assert cell_text(False) == "false"
+
+    def test_floats_use_shortest_round_trip_repr(self):
+        assert cell_text(0.1) == "0.1"
+        assert cell_text(1 / 3) == repr(1 / 3)
+
+    def test_ints_and_strings_pass_through(self):
+        assert cell_text(7) == "7"
+        assert cell_text("x") == "x"
+
+
+class TestTableData:
+    def test_row_width_must_match_columns(self):
+        with pytest.raises(ValueError, match="cells"):
+            TableData(name="t", columns=("a", "b"), rows=(("only",),))
+
+    def test_cells_must_be_scalars(self):
+        with pytest.raises(ValueError, match="scalars"):
+            TableData(name="t", columns=("a",), rows=(([1, 2],),))
+
+    def test_needs_a_column(self):
+        with pytest.raises(ValueError, match="column"):
+            TableData(name="t", columns=())
+
+    def test_formats_must_cover_every_column(self):
+        with pytest.raises(ValueError, match="formats"):
+            TableData(name="t", columns=("a", "b"), formats=(".2f",))
+
+    def test_display_rows_apply_formats(self):
+        table = small_table()
+        assert table.display_rows() == [
+            ["a", "1.50", "true"], ["b", "0.25", "false"],
+        ]
+
+    def test_display_skips_formats_for_none(self):
+        table = TableData(
+            name="t", columns=("v",), rows=((None,),), formats=(".2f",)
+        )
+        assert table.display_rows() == [[""]]
+
+
+class TestRenderers:
+    def test_console_titles_each_table(self):
+        text = render_console([small_table()])
+        assert text.startswith("demo:\n")
+        assert "1.50" in text  # format applied
+
+    def test_csv_blocks_with_comment_headers(self):
+        text = render_csv([small_table()])
+        lines = text.splitlines()
+        assert lines[0] == "# demo"
+        assert lines[1] == "name,rate,ok"
+        assert lines[2] == "a,1.5,true"  # raw value, not the display format
+        assert text.endswith("\n")
+
+    def test_csv_quotes_special_cells(self):
+        table = TableData(
+            name="t", columns=("v",), rows=(('he said "hi", twice',),)
+        )
+        assert '"he said ""hi"", twice"' in render_csv([table])
+
+    def test_json_is_canonical(self):
+        text = render_json([small_table()], meta={"z": 1, "a": 2})
+        payload = json.loads(text)
+        assert payload["meta"] == {"z": 1, "a": 2}
+        assert payload["tables"]["demo"]["rows"][0] == ["a", 1.5, True]
+        # Canonical form: sorted keys, indent 2, single trailing newline.
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def test_renderers_are_deterministic(self):
+        tables = [small_table()]
+        assert render_csv(tables) == render_csv(tables)
+        assert render_json(tables) == render_json(tables)
+        assert render_console(tables) == render_console(tables)
+
+
+class TestArtifact:
+    def test_needs_a_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Artifact(name="", tables=(small_table(),))
+
+    def test_write_emits_json_and_csv(self, tmp_path):
+        artifact = Artifact(name="demo", tables=(small_table(),),
+                            meta={"k": "v"})
+        paths = artifact.write(tmp_path)
+        assert [p.name for p in paths] == ["demo.json", "demo.csv"]
+        assert paths[0].read_text() == artifact.json_text()
+        assert paths[1].read_text() == artifact.csv_text()
+
+    def test_markdown_console_form(self):
+        artifact = Artifact(name="demo", tables=(small_table(),))
+        md = artifact.console_text(markdown=True)
+        header = md.splitlines()[1]
+        assert header.startswith("| name ") and header.endswith("|")
+        assert "|---" in md  # the markdown separator row

@@ -1,0 +1,148 @@
+"""Tests for study execution: determinism, caching, bisection, goldens."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.studies import (
+    load_study_file,
+    run_capacity_study,
+    run_interference_study,
+    run_study,
+)
+
+from .test_spec import capacity_study, interference_study
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples" / "studies"
+GOLDENS = REPO / "benchmarks" / "goldens" / "studies"
+
+
+class TestInterferenceRunner:
+    def test_rows_cover_the_grid_in_order(self):
+        study = interference_study()
+        result = run_interference_study(study, cache_dir=None)
+        table = result.artifact.tables[0]
+        assert table.name == "interference"
+        assert table.columns[:2] == ("admission.slack", "aggressor_rate")
+        assert [row[:2] for row in table.rows] == [
+            (1.5, 20.0), (1.5, 80.0), (3.0, 20.0), (3.0, 80.0),
+        ]
+        assert result.cells_total == 4
+        assert result.cells_simulated == 4
+        assert result.cells_cached == 0
+
+    def test_more_aggressor_load_never_helps_the_victim(self):
+        result = run_interference_study(interference_study(), cache_dir=None)
+        by_slack: dict = {}
+        for row in result.artifact.tables[0].rows:
+            by_slack.setdefault(row[0], []).append(row[3])  # good_fraction
+        for fractions in by_slack.values():
+            assert fractions == sorted(fractions, reverse=True)
+
+    def test_serial_and_pooled_artifacts_are_byte_identical(self):
+        study = interference_study()
+        serial = run_interference_study(study, workers=1, cache_dir=None)
+        pooled = run_interference_study(study, workers=2, cache_dir=None)
+        assert pooled.artifact.json_text() == serial.artifact.json_text()
+        assert pooled.artifact.csv_text() == serial.artifact.csv_text()
+
+    def test_cache_reuse_skips_every_cell(self, tmp_path):
+        study = interference_study()
+        first = run_interference_study(study, cache_dir=tmp_path)
+        second = run_interference_study(study, cache_dir=tmp_path)
+        assert first.cells_simulated == 4
+        assert second.cells_simulated == 0
+        assert second.cells_cached == 4
+        assert second.artifact.json_text() == first.artifact.json_text()
+
+    def test_meta_pins_the_base_fingerprint(self):
+        study = interference_study()
+        result = run_interference_study(study, cache_dir=None)
+        assert result.artifact.meta["base_fingerprint"] == (
+            study.base.fingerprint()
+        )
+        assert result.artifact.meta["cells"] == 4
+
+
+class TestCapacityRunner:
+    def test_bisection_finds_the_smallest_satisfying_count(self, tmp_path):
+        study = capacity_study()
+        result = run_capacity_study(study, cache_dir=tmp_path)
+        capacity = result.artifact.tables[0]
+        assert capacity.name == "capacity"
+        for rate, required, fraction, satisfiable in capacity.rows:
+            assert satisfiable
+            assert fraction >= study.target
+            assert study.min_workers <= required <= study.max_workers
+        by_rate = {row[0]: row[1] for row in capacity.rows}
+        assert by_rate[30.0] <= by_rate[90.0]
+        # Every probed (rate, workers) point is on record for the paper.
+        probes = result.artifact.tables[1]
+        assert probes.name == "probes"
+        assert len(probes.rows) == result.cells_total
+
+    def test_probes_bracket_the_answer(self, tmp_path):
+        study = capacity_study()
+        result = run_capacity_study(study, cache_dir=tmp_path)
+        required = {r: n for r, n, _, _ in result.artifact.tables[0].rows}
+        for rate, workers, _, meets in result.artifact.tables[1].rows:
+            if workers >= required[rate]:
+                assert meets
+            else:
+                assert not meets
+
+    def test_unsatisfiable_rate_reports_none(self, tmp_path):
+        study = capacity_study(rates=(2000.0,), max_workers=1)
+        result = run_capacity_study(study, cache_dir=tmp_path)
+        ((rate, required, fraction, satisfiable),) = (
+            result.artifact.tables[0].rows
+        )
+        assert rate == 2000.0
+        assert required is None
+        assert not satisfiable
+        assert fraction < study.target
+
+    def test_replanning_only_simulates_new_probes(self, tmp_path):
+        study = capacity_study()
+        first = run_capacity_study(study, cache_dir=tmp_path)
+        second = run_capacity_study(study, cache_dir=tmp_path)
+        assert first.cells_simulated == first.cells_total
+        assert second.cells_simulated == 0
+        assert second.cells_cached == second.cells_total
+        assert second.artifact.json_text() == first.artifact.json_text()
+
+    def test_worker_count_does_not_change_the_artifact(self, tmp_path):
+        study = capacity_study()
+        one = run_capacity_study(study, workers=1, cache_dir=None)
+        two = run_capacity_study(study, workers=2, cache_dir=None)
+        assert one.artifact.json_text() == two.artifact.json_text()
+
+
+class TestRunStudyDispatch:
+    def test_dispatches_by_kind(self, tmp_path):
+        result = run_study(capacity_study(), cache_dir=tmp_path)
+        assert result.artifact.meta["study"] == "capacity"
+        result = run_study(interference_study(), cache_dir=tmp_path)
+        assert result.artifact.meta["study"] == "interference"
+
+    def test_rejects_non_studies(self):
+        with pytest.raises(TypeError, match="not a study"):
+            run_study(object())
+
+
+class TestCommittedGoldens:
+    """The committed example studies reproduce their goldens bitwise."""
+
+    @pytest.mark.parametrize("stem", ["interference", "capacity"])
+    def test_example_reproduces_golden_bytes(self, stem):
+        study = load_study_file(EXAMPLES / f"{stem}.json")
+        result = run_study(study, cache_dir=None)
+        assert result.artifact.json_text() == (
+            (GOLDENS / f"{stem}.json").read_text()
+        )
+        assert result.artifact.csv_text() == (
+            (GOLDENS / f"{stem}.csv").read_text()
+        )

@@ -1,0 +1,252 @@
+"""Tests for the declarative study specs (interference + capacity)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenario import (
+    AppSpec,
+    MultiScenario,
+    Scenario,
+    TenantSpec,
+    TraceSpec,
+)
+from repro.pipeline.profiles import ModelProfile
+from repro.studies import (
+    CapacityStudy,
+    InterferenceStudy,
+    load_study_file,
+    study_from_dict,
+)
+
+
+def victim_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        name="victim",
+        app=AppSpec.chained(
+            ["vic_a"],
+            slo=0.30,
+            pipeline="victim-pipe",
+            profiles=[
+                ModelProfile("vic_a", base=0.015, per_item=0.005,
+                             max_batch=16),
+            ],
+        ),
+        trace=TraceSpec(name="poisson", duration=6.0, base_rate=40.0),
+        policy="PARD",
+        seed=3,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def aggressor_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        name="aggressor",
+        app=AppSpec.chained(
+            ["agg_a"],
+            slo=0.25,
+            pipeline="aggressor-pipe",
+            profiles=[
+                ModelProfile("agg_a", base=0.020, per_item=0.008,
+                             max_batch=8),
+            ],
+        ),
+        trace=TraceSpec(name="poisson", duration=6.0, base_rate=30.0),
+        policy="Naive",
+        seed=5,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def pair_multi(**overrides) -> MultiScenario:
+    defaults = dict(
+        name="pair",
+        tenants=(
+            TenantSpec(scenario=victim_scenario()),
+            TenantSpec(scenario=aggressor_scenario()),
+        ),
+        workers=1,
+        admission={"name": "weighted-fair",
+                   "params": {"backlog": 2.0, "window": 4.0, "slack": 1.5}},
+        seed=0,
+    )
+    defaults.update(overrides)
+    return MultiScenario(**defaults)
+
+
+def interference_study(**overrides) -> InterferenceStudy:
+    defaults = dict(
+        base=pair_multi(),
+        victim="victim",
+        aggressor="aggressor",
+        loads=(20.0, 80.0),
+        axes=(("admission.slack", (1.5, 3.0)),),
+        name="demo",
+    )
+    defaults.update(overrides)
+    return InterferenceStudy(**defaults)
+
+
+def capacity_study(**overrides) -> CapacityStudy:
+    defaults = dict(
+        base=victim_scenario(trace=TraceSpec(name="poisson", duration=6.0)),
+        rates=(30.0, 90.0),
+        target=0.9,
+        min_workers=1,
+        max_workers=4,
+        name="cap",
+    )
+    defaults.update(overrides)
+    return CapacityStudy(**defaults)
+
+
+class TestInterferenceSpec:
+    def test_dict_round_trip(self):
+        study = interference_study()
+        assert study_from_dict(study.to_dict()) == study
+
+    def test_json_round_trip(self):
+        study = interference_study()
+        body = json.loads(json.dumps(study.to_dict()))
+        assert study_from_dict(body) == study
+
+    def test_victim_must_be_a_tenant(self):
+        with pytest.raises(ValueError, match="victim 'ghost'"):
+            interference_study(victim="ghost")
+
+    def test_roles_must_be_distinct(self):
+        with pytest.raises(ValueError, match="distinct"):
+            interference_study(victim="aggressor")
+
+    def test_needs_a_multi_tenant_base(self):
+        with pytest.raises(ValueError, match="multi-tenant"):
+            InterferenceStudy(
+                base=victim_scenario(), victim="victim",
+                aggressor="aggressor", loads=(10.0,),
+            )
+
+    def test_loads_must_be_positive(self):
+        with pytest.raises(ValueError, match="> 0"):
+            interference_study(loads=(10.0, -1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            interference_study(loads=())
+
+    def test_axis_values_must_be_scalars(self):
+        with pytest.raises(ValueError, match="scalars"):
+            interference_study(axes=(("admission.slack", ({"a": 1},)),))
+        with pytest.raises(ValueError, match="no values"):
+            interference_study(axes=(("admission.slack", ()),))
+
+    def test_axis_names_put_load_last(self):
+        assert interference_study().axis_names() == [
+            "admission.slack", "aggressor_rate",
+        ]
+
+    def test_expand_crosses_axes_with_loads_varying_fastest(self):
+        points = interference_study().expand()
+        assert len(points) == 4
+        assert [vals["aggressor_rate"] for vals, _ in points] == [
+            20.0, 80.0, 20.0, 80.0,
+        ]
+        assert [vals["admission.slack"] for vals, _ in points] == [
+            1.5, 1.5, 3.0, 3.0,
+        ]
+        for vals, spec in points:
+            tenant = dict(zip(spec.tenant_names(), spec.tenants))["aggressor"]
+            assert tenant.scenario.trace.base_rate == vals["aggressor_rate"]
+
+    def test_validate_resolves_every_grid_member(self):
+        interference_study().validate()
+        bad = interference_study(axes=(("tenant.victim.quota", (0,)),))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestCapacitySpec:
+    def test_dict_round_trip(self):
+        study = capacity_study()
+        assert study_from_dict(study.to_dict()) == study
+
+    def test_multi_base_round_trips(self):
+        study = capacity_study(base=pair_multi())
+        assert study_from_dict(study.to_dict()) == study
+
+    def test_target_range(self):
+        with pytest.raises(ValueError, match="target"):
+            capacity_study(target=0.0)
+        with pytest.raises(ValueError, match="target"):
+            capacity_study(target=1.5)
+
+    def test_worker_bounds(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            capacity_study(min_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            capacity_study(min_workers=4, max_workers=2)
+
+    def test_rejects_file_backed_traces(self, tmp_path):
+        log = tmp_path / "arrivals.csv"
+        log.write_text("0.1\n0.2\n0.3\n")
+        base = victim_scenario(
+            trace=TraceSpec(name="poisson", duration=6.0, path=str(log)),
+        )
+        with pytest.raises(ValueError, match="generator traces"):
+            capacity_study(base=base)
+
+    def test_rejects_calibrated_sizing(self):
+        with pytest.raises(ValueError, match="utilization"):
+            capacity_study(base=victim_scenario(utilization=0.8))
+
+    def test_spec_at_sets_rate_and_workers(self):
+        spec = capacity_study().spec_at(55.0, 3)
+        assert spec.trace.base_rate == 55.0
+        assert spec.workers == 3
+
+    def test_spec_at_rates_every_tenant_of_a_multi_base(self):
+        spec = capacity_study(base=pair_multi()).spec_at(25.0, 2)
+        assert spec.workers == 2
+        assert all(t.scenario.trace.base_rate == 25.0 for t in spec.tenants)
+
+
+class TestDispatch:
+    def test_requires_an_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            study_from_dict([1, 2])
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown study kind"):
+            study_from_dict({"study": "latency"})
+
+    def test_unknown_keys_rejected(self):
+        body = interference_study().to_dict()
+        body["extra"] = 1
+        with pytest.raises(ValueError, match="extra"):
+            study_from_dict(body)
+
+    def test_load_study_file(self, tmp_path):
+        study = capacity_study()
+        path = tmp_path / "cap.json"
+        path.write_text(json.dumps(study.to_dict()))
+        assert load_study_file(path) == study
+
+    def test_committed_examples_parse_and_validate(self):
+        examples = Path(__file__).resolve().parents[2] / "examples" / "studies"
+        for name in ("interference", "capacity"):
+            load_study_file(examples / f"{name}.json").validate()
+
+
+class TestFrozen:
+    def test_specs_are_immutable(self):
+        with pytest.raises(AttributeError):
+            interference_study().loads = ()
+        with pytest.raises(AttributeError):
+            capacity_study().target = 0.5
+
+    def test_replace_builds_variants(self):
+        study = replace(capacity_study(), target=0.5)
+        assert study.target == 0.5

@@ -436,3 +436,182 @@ class TestLlmCommands:
         assert "goodput under declared SLO constraints" in out
         assert "chat" in out and "rag" in out
         assert "tpot met" in out
+
+
+class TestMergeCommand:
+    def shard(self, tmp_path, name, entries):
+        path = tmp_path / name
+        path.write_text(json.dumps(entries))
+        return str(path)
+
+    def test_zero_inputs_rejected_with_hint(self):
+        with pytest.raises(SystemExit, match="no shard files given"):
+            main(["merge"])
+
+    def test_duplicate_indices_rejected(self, tmp_path):
+        a = self.shard(tmp_path, "a.json", [{"index": 0, "cell": "x"}])
+        b = self.shard(tmp_path, "b.json", [{"index": 0, "cell": "x"}])
+        with pytest.raises(SystemExit, match="duplicated cells \\[0\\]"):
+            main(["merge", a, b])
+
+    def test_incomplete_partition_rejected(self, tmp_path):
+        a = self.shard(tmp_path, "a.json", [{"index": 1, "cell": "x"}])
+        with pytest.raises(SystemExit, match="missing cells \\[0\\]"):
+            main(["merge", a])
+
+    def test_non_summaries_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(SystemExit, match="not a summaries file"):
+            main(["merge", str(bad)])
+
+    def test_unsharded_entries_rejected(self, tmp_path):
+        a = self.shard(tmp_path, "a.json", [{"cell": "x"}])
+        with pytest.raises(SystemExit, match="non-negative integer 'index'"):
+            main(["merge", a])
+
+    def test_empty_shards_rejected(self, tmp_path):
+        a = self.shard(tmp_path, "a.json", [])
+        with pytest.raises(SystemExit, match="no summary entries"):
+            main(["merge", a])
+
+
+class TestScenarioFormats:
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(SCENARIO))
+        return str(path)
+
+    def test_json_format_emits_canonical_artifact(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--file", self.scenario_file(tmp_path),
+                   "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["scenario"] == "cli-test-Naive-s0"
+        assert "fingerprint" in payload["meta"]
+        assert "summary" in payload["tables"]
+
+    def test_csv_format_emits_table_blocks(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--file", self.scenario_file(tmp_path),
+                   "--format", "csv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# summary\n")
+        assert "# module_drops" in out
+
+    def test_md_format_prints_markdown_tables(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--file", self.scenario_file(tmp_path),
+                   "--format", "md"])
+        assert rc == 0
+        assert "| policy" in capsys.readouterr().out
+
+    def test_default_console_format_unchanged(self, capsys, tmp_path):
+        rc = main(["scenario", "run", "--file", self.scenario_file(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-test-Naive-s0" in out
+        assert not out.startswith("{")
+
+
+class TestScenarioRender:
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(SCENARIO))
+        return str(path)
+
+    def test_render_prints_declared_vs_measured_timeline(
+        self, capsys, tmp_path
+    ):
+        rc = main(["scenario", "render", "--file",
+                   self.scenario_file(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "declared_rate" in out and "arrival_rate" in out
+
+    def test_render_csv_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "timeline.csv"
+        rc = main(["scenario", "render", "--file",
+                   self.scenario_file(tmp_path),
+                   "--format", "csv", "--out", str(out_path)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().err
+        text = out_path.read_text()
+        assert "declared_rate" in text
+
+    def test_render_window_controls_row_count(self, capsys, tmp_path):
+        rc = main(["scenario", "render", "--file",
+                   self.scenario_file(tmp_path), "--window", "2.5",
+                   "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        (table,) = payload["tables"].values()
+        assert len(table["rows"]) == 2  # ceil(5s / 2.5s) windows
+
+
+STUDY = {
+    "study": "capacity",
+    "name": "cli-cap",
+    "rates": [20],
+    "target": 0.5,
+    "min_workers": 1,
+    "max_workers": 2,
+    "base": {
+        "name": "cli-cap-base",
+        "app": {"name": "tm"},
+        "policy": "Naive",
+        "trace": {"name": "poisson", "duration": 4},
+    },
+}
+
+
+class TestStudyCommand:
+    def study_file(self, tmp_path, spec=None):
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(spec or STUDY))
+        return str(path)
+
+    def test_study_run_prints_and_writes_artifacts(self, capsys, tmp_path):
+        rc = main([
+            "study", "run", self.study_file(tmp_path), "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--save-artifacts", str(tmp_path / "artifacts"),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "required_workers" in captured.out
+        assert "cells:" in captured.err and "wrote" in captured.err
+        saved = sorted(p.name for p in (tmp_path / "artifacts").iterdir())
+        assert saved == ["cli-cap.csv", "cli-cap.json"]
+
+    def test_second_run_is_fully_cached_and_byte_identical(
+        self, capsys, tmp_path
+    ):
+        args = [
+            "study", "run", self.study_file(tmp_path), "--quiet",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--save-artifacts", str(tmp_path / "a1")]) == 0
+        first = capsys.readouterr()
+        assert main(args + ["--save-artifacts", str(tmp_path / "a2")]) == 0
+        second = capsys.readouterr()
+        assert " 0 simulated," in second.err
+        for name in ("cli-cap.json", "cli-cap.csv"):
+            assert ((tmp_path / "a1" / name).read_bytes()
+                    == (tmp_path / "a2" / name).read_bytes())
+        assert first.out == second.out
+
+    def test_missing_study_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="study file not found"):
+            main(["study", "run", str(tmp_path / "absent.json")])
+
+    def test_invalid_study_file_rejected(self, tmp_path):
+        bad = self.study_file(tmp_path, {"study": "nosuch"})
+        with pytest.raises(SystemExit, match="invalid study file"):
+            main(["study", "run", bad])
+
+    def test_invalid_base_scenario_rejected(self, tmp_path):
+        bad_study = dict(STUDY, base=dict(STUDY["base"], policy="NoSuch"))
+        bad = self.study_file(tmp_path, bad_study)
+        with pytest.raises(SystemExit):
+            main(["study", "run", bad, "--quiet",
+                  "--no-cache", "--save-artifacts", str(tmp_path / "a")])
