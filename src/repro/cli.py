@@ -612,8 +612,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_study = sub.add_parser(
         "study",
-        help="run a declarative study file (interference grid or "
-             "capacity planner) and export byte-stable artifacts",
+        help="run a declarative study file (interference grid, capacity "
+             "planner or chaos schedule) and export byte-stable artifacts",
     )
     study_sub = p_study.add_subparsers(dest="study_command", required=True)
     p_study_run = study_sub.add_parser(
@@ -651,9 +651,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--profile", type=int, default=0, metavar="N",
                          help="also cProfile one pass and print the top N "
                               "functions by cumulative time")
-    p_bench.add_argument("--out", default="BENCH_9.json", metavar="PATH",
+    p_bench.add_argument("--out", default="BENCH_10.json", metavar="PATH",
                          help="write the JSON report here (default: "
-                              "BENCH_9.json; empty string to skip)")
+                              "BENCH_10.json; empty string to skip)")
     p_bench.add_argument("--baseline", default=None, metavar="PATH",
                          help="earlier report to compute the speedup against")
     p_bench.add_argument("--scenarios", default="examples/scenarios",

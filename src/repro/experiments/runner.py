@@ -224,6 +224,9 @@ class ExperimentResult:
     cluster: Cluster
     trace: Trace | ArrivalSource
     failure_log: list[str] = field(default_factory=list)
+    #: Structured fault timeline (the source of ``failure_log``'s rendered
+    #: strings), exportable via ``repro.metrics.export.fault_table``.
+    fault_records: list = field(default_factory=list)
     #: Goodput-under-constraints report; None unless the scenario (or
     #: caller) declared token-level SLO constraints.
     goodput: GoodputReport | None = None
@@ -240,13 +243,15 @@ def build_cluster(
     lean: bool = False,
     goodput: GoodputSpec | None = None,
     router: PathRouter | None = None,
+    resilience: dict | None = None,
 ) -> Cluster:
     """Construct the provisioned cluster for a config (no trace replayed).
 
     ``lean=True`` collects streaming summary counters only (no per-request
     records) — see :class:`~repro.metrics.collector.MetricsCollector`.
     ``goodput`` arms the collector's token-SLO counters; ``router``
-    overrides static fan-out at DAG forks.
+    overrides static fan-out at DAG forks; ``resilience`` installs per-hop
+    :class:`~repro.simulation.resilience.HopResilience` policies.
     """
     app = config.resolve_app()
     trace = trace or config.resolve_trace()
@@ -269,6 +274,7 @@ def build_cluster(
         sync_interval=config.sync_interval,
         stats_window=config.stats_window,
         router=router,
+        resilience=resilience,
     )
 
 
@@ -281,6 +287,7 @@ def run_experiment(
     lean: bool = False,
     goodput: GoodputSpec | None = None,
     router: PathRouter | None = None,
+    resilience: dict | None = None,
 ) -> ExperimentResult:
     """Replay the configured trace through a freshly provisioned cluster.
 
@@ -300,7 +307,8 @@ def run_experiment(
     if trace is None:
         trace = config.resolve_trace()
     cluster = build_cluster(
-        config, policy, trace, lean=lean, goodput=goodput, router=router
+        config, policy, trace, lean=lean, goodput=goodput, router=router,
+        resilience=resilience,
     )
     if scaling is None:
         scaling = ScalingSpec(enabled=config.scaling)
@@ -323,6 +331,7 @@ def run_experiment(
         cluster=cluster,
         trace=trace,
         failure_log=list(injector.log) if injector is not None else [],
+        fault_records=list(injector.records) if injector is not None else [],
         goodput=goodput_report(cluster.metrics, duration=trace.duration),
     )
 
@@ -410,6 +419,7 @@ def run_scenario(scenario: Scenario, lean: bool = False) -> ExperimentResult:
             None if scenario.router is None
             else scenario.router.build(scenario.seed)
         ),
+        resilience=scenario.resilience_map(),
     )
 
 
@@ -429,6 +439,8 @@ class MultiResult:
     cluster: SharedCluster
     traces: dict[str, Trace | ArrivalSource]
     failure_log: list[str] = field(default_factory=list)
+    #: Structured fault timeline (the source of ``failure_log``).
+    fault_records: list = field(default_factory=list)
     #: Per-app goodput-under-constraints reports, keyed like ``summaries``;
     #: tenants without declared constraints map to None.
     goodputs: dict[str, GoodputReport | None] = field(default_factory=dict)
@@ -593,6 +605,7 @@ def run_multi_scenario(multi: MultiScenario, lean: bool = False) -> MultiResult:
         cluster=cluster,
         traces=traces,
         failure_log=list(injector.log) if injector is not None else [],
+        fault_records=list(injector.records) if injector is not None else [],
         goodputs=goodputs,
     )
 

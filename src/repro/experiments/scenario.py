@@ -37,6 +37,7 @@ from ..pipeline.profiles import DEFAULT_PROFILES, ModelProfile, ProfileRegistry
 from ..pipeline.spec import ModuleSpec, PipelineSpec, chain
 from ..policies.spec import PolicySpec
 from ..simulation.failures import FailureEvent
+from ..simulation.resilience import HopResilience
 from ..simulation.routing import PathRouter, ProbabilisticRouter, StaticRouter
 from ..workload.generators import TRACES, get_trace, stream_trace
 from ..workload.source import ArrivalSource, FileSource
@@ -747,6 +748,11 @@ class Scenario:
     goodput: GoodputSpec | None = None
     #: Fork routing (None = static fan-out-to-all).
     router: RouterSpec | None = None
+    #: Per-hop resilience policies, as (module_id, HopResilience) pairs
+    #: (dicts coerce).  Empty — the default — keeps every module on its
+    #: resilience-free fast path and the serialized form key-free, so all
+    #: pre-existing fingerprints are unchanged.
+    resilience: tuple = ()
 
     def __post_init__(self) -> None:
         # Accept dict forms for the nested specs too, mirroring how
@@ -811,6 +817,29 @@ class Scenario:
                 for e in self.failures
             ),
         )
+        pairs = (
+            self.resilience.items()
+            if isinstance(self.resilience, dict)
+            else self.resilience
+        )
+        object.__setattr__(
+            self,
+            "resilience",
+            tuple(sorted(
+                (
+                    (
+                        str(mid),
+                        hop if isinstance(hop, HopResilience)
+                        else HopResilience.from_dict(hop),
+                    )
+                    for mid, hop in pairs
+                ),
+                key=lambda pair: pair[0],
+            )),
+        )
+        seen_hops = [mid for mid, _ in self.resilience]
+        if len(set(seen_hops)) != len(seen_hops):
+            raise ValueError("duplicate module id in resilience spec")
         # Fail fast on mistargeted failures/workers: a bad module id in a
         # hand-authored spec should raise here, not as a KeyError minutes
         # into a run.  Apps referencing a not-yet-registered name stay lazy
@@ -823,11 +852,13 @@ class Scenario:
                     f"failure event at t={event.time} falls outside the "
                     f"trace duration {self.trace.duration}"
                 )
-        if self.failures or isinstance(self.workers, dict):
+        if self.failures or self.resilience or isinstance(self.workers, dict):
             module_ids = self._known_module_ids()
             if module_ids is not None:
                 self._check_targets(module_ids)
-        elif self.workers is not None and self.workers < 1:
+        if not isinstance(self.workers, dict) and (
+            self.workers is not None and self.workers < 1
+        ):
             raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     def _known_module_ids(self) -> set[str] | None:
@@ -849,6 +880,21 @@ class Scenario:
         _check_provision_targets(
             self.workers, self.failures, module_ids, "module"
         )
+        for event in self.failures:
+            if event.dst is not None and event.dst not in module_ids:
+                raise ValueError(
+                    f"link fault targets unknown module {event.dst!r}"
+                )
+        for mid, hop in self.resilience:
+            if mid not in module_ids:
+                raise ValueError(
+                    f"resilience spec targets unknown module {mid!r}"
+                )
+            if hop.fallback is not None and hop.fallback not in module_ids:
+                raise ValueError(
+                    f"resilience fallback for {mid!r} targets unknown "
+                    f"module {hop.fallback!r}"
+                )
 
     def label(self) -> str:
         """Short identifier used by sweep progress and result tables."""
@@ -915,6 +961,17 @@ class Scenario:
         # was resolvable then; this pass is authoritative (the app resolved
         # two lines up, so module ids are definitely known here).
         self._check_targets(set(app.spec.module_ids))
+        for mid, hop in self.resilience:
+            if hop.fallback is None:
+                continue
+            from ..simulation.resilience import descendants
+
+            if hop.fallback in descendants(app.spec, mid):
+                raise ValueError(
+                    f"module {mid!r} cannot fall back to its downstream "
+                    f"module {hop.fallback!r}; valid targets are off-path "
+                    "branches (e.g. a router-skipped sibling)"
+                )
         if self.router is not None:
             unknown = (
                 {k for k, _ in self.router.weights} - set(app.spec.module_ids)
@@ -940,7 +997,7 @@ class Scenario:
     # -- serialisation -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "app": self.app.to_dict(),
             "trace": self.trace.to_dict(),
             # Compact: a param-less policy stays the legacy bare string, so
@@ -963,6 +1020,13 @@ class Scenario:
             "goodput": None if self.goodput is None else self.goodput.to_dict(),
             "router": None if self.router is None else self.router.to_dict(),
         }
+        if self.resilience:
+            # Only-when-set (the TenantSpec.quota pattern): resilience-free
+            # scenarios keep their pre-existing fingerprints byte-identical.
+            out["resilience"] = {
+                mid: hop.to_dict() for mid, hop in self.resilience
+            }
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -972,7 +1036,7 @@ class Scenario:
                 "app", "trace", "policy", "seed", "workers", "utilization",
                 "provision_rate", "provision_headroom", "sync_interval",
                 "stats_window", "drain", "scaling", "failures", "name",
-                "goodput", "router",
+                "goodput", "router", "resilience",
             },
             "scenario",
         )
@@ -1011,7 +1075,14 @@ class Scenario:
                 None if data.get("router") is None
                 else RouterSpec.from_dict(data["router"])
             ),
+            resilience=data.get("resilience", ()),
         )
+
+    def resilience_map(self) -> dict[str, HopResilience] | None:
+        """Runtime form for :class:`Cluster` (``None`` = fast path)."""
+        if not self.resilience:
+            return None
+        return dict(self.resilience)
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -1221,6 +1292,14 @@ class MultiScenario:
                     f"failure event at t={event.time} falls outside the "
                     f"longest trace duration {duration}"
                 )
+            if event.kind == "link":
+                # Pool-keyed faults address capacity, not topology: edges
+                # belong to per-tenant DAGs, so link cuts are
+                # single-cluster only.
+                raise ValueError(
+                    "link faults are single-cluster only; shared-cluster "
+                    "failures target pools (kill/degrade)"
+                )
         if self.failures or isinstance(self.workers, dict):
             pools = self._known_pools()
             if pools is not None:
@@ -1314,6 +1393,12 @@ class MultiScenario:
                 raise ValueError(
                     f"{where} declares failures; shared-cluster failures "
                     "are pool-keyed (set MultiScenario.failures)"
+                )
+            if s.resilience:
+                raise ValueError(
+                    f"{where} declares resilience; shared-cluster hops are "
+                    "pool-backed and per-hop resilience is single-cluster "
+                    "only"
                 )
             if s.utilization is not None or s.provision_rate is not None:
                 raise ValueError(
@@ -1518,6 +1603,33 @@ def _apply_axis(
         param = axis.split(".", 1)[1]
         return replace(spec, policy=spec.policy.with_params(**{param: value}))
     head, _, rest = axis.partition(".")
+    if head == "resilience" and rest:
+        # resilience.<module>.<field>[.<subfield>] — e.g.
+        # resilience.m1.timeout or resilience.m1.retry.max.  The module's
+        # hop spec round-trips through its dict form so nested retry
+        # fields stay one flat axis name.
+        mid, _, path = rest.partition(".")
+        if not mid or not path:
+            raise ValueError(
+                f"resilience axis {axis!r} must be "
+                "'resilience.<module>.<field>'"
+            )
+        hops = dict(spec.resilience)
+        if mid not in hops:
+            raise ValueError(
+                f"axis {axis!r} requires the base spec to declare "
+                f"resilience for module {mid!r}"
+            )
+        data = hops[mid].to_dict()
+        node, keys = data, path.split(".")
+        for key in keys[:-1]:
+            nxt = node.get(key)
+            if not isinstance(nxt, dict):
+                raise ValueError(f"unknown sweep axis {axis!r}")
+            node = nxt
+        node[keys[-1]] = value
+        hops[mid] = HopResilience.from_dict(data)  # re-validates keys/ranges
+        return replace(spec, resilience=tuple(sorted(hops.items())))
     if rest:
         if head not in ("trace", "app", "scaling", "goodput"):
             raise ValueError(f"unknown sweep axis {axis!r}")

@@ -126,6 +126,10 @@ def merge_collectors(
     for collector in parts:
         merged.records.extend(collector.records)
         merged.submitted += collector.submitted
+        merged.res_retries += collector.res_retries
+        merged.res_hedges += collector.res_hedges
+        merged.res_timeouts += collector.res_timeouts
+        merged.res_fallbacks += collector.res_fallbacks
         merged.gp_good += collector.gp_good
         merged.gp_ttft_met += collector.gp_ttft_met
         merged.gp_tpot_met += collector.gp_tpot_met
@@ -237,6 +241,44 @@ def min_normalized_goodput(collector: MetricsCollector, window: float) -> float:
     if not mask.any():
         return 0.0
     return float((goods[mask] / arrivals[mask]).min())
+
+
+def time_to_recover(
+    collector: MetricsCollector,
+    after: float,
+    target: float,
+    window: float,
+) -> float | None:
+    """Delay from ``after`` until windowed goodput first recovers.
+
+    Returns the gap (in seconds, >= 0) between ``after`` — typically a
+    fault injection time — and the start of the first send-time window
+    *starting at or after* ``after`` whose normalized goodput reaches
+    ``target``.  The window containing ``after`` is excluded: its sends
+    straddle the fault, so its good fraction dilutes the outage with
+    pre-fault traffic.  Idle windows (no arrivals) cannot witness
+    recovery.  ``None`` when goodput never recovers within the run.
+    """
+    starts, norm = normalized_goodput_series(collector, window)
+    for start, value in zip(starts, norm):
+        if start < after:
+            continue
+        if not np.isnan(value) and value >= target:
+            return float(start - after)
+    return None
+
+
+def dispatch_amplification(collector: MetricsCollector) -> float:
+    """(terminal + retries + hedges) / terminal: extra-dispatch overhead.
+
+    1.0 means every request was dispatched exactly once per hop attempt;
+    resilience policies (retries, hedges) push it above 1.  Streaming
+    counters only, so this is lean-safe.
+    """
+    total = collector.count
+    if total == 0:
+        return 1.0
+    return (total + collector.res_retries + collector.res_hedges) / total
 
 
 def drop_rate_series(

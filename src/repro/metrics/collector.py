@@ -117,6 +117,14 @@ class MetricsCollector:
         self.gp_tpot_met = 0
         self.gp_e2e_met = 0
         self.gp_tokens_out = 0
+        # Resilience counters (streamed, lean-safe): incremented by the
+        # ResilienceManager as it acts, not per terminal request.  The
+        # retry/hedge totals are the numerators of the dispatch
+        # amplification factor.
+        self.res_retries = 0
+        self.res_hedges = 0
+        self.res_timeouts = 0
+        self.res_fallbacks = 0
 
     def record_submitted(self) -> None:
         self.submitted += 1

@@ -31,6 +31,7 @@ __all__ = [
     "Artifact",
     "TableData",
     "cell_text",
+    "fault_table",
     "multi_result_tables",
     "render_console",
     "render_csv",
@@ -227,6 +228,23 @@ def _goodput_table(reports: dict) -> TableData:
     )
 
 
+def fault_table(records) -> TableData:
+    """Structured fault timeline as one exportable table.
+
+    ``records`` are the injector's
+    :class:`~repro.simulation.failures.FaultRecord` list — the typed form
+    behind the legacy rendered ``failure_log`` strings.
+    """
+    return TableData(
+        name="faults",
+        columns=("time", "kind", "target", "count", "factor"),
+        rows=tuple(
+            (r.time, r.kind, r.target, r.count, r.factor) for r in records
+        ),
+        formats=(".2f", None, None, None, None),
+    )
+
+
 def scenario_result_tables(result: "ExperimentResult") -> list[TableData]:
     """The structured form of ``repro scenario run``'s single-app report."""
     tables = [
@@ -247,6 +265,8 @@ def scenario_result_tables(result: "ExperimentResult") -> list[TableData]:
     ))
     if result.goodput is not None:
         tables.append(_goodput_table({result.policy_name: result.goodput}))
+    if result.fault_records:
+        tables.append(fault_table(result.fault_records))
     return tables
 
 
@@ -283,4 +303,6 @@ def multi_result_tables(result: "MultiResult") -> list[TableData]:
         rows=(_summary_cells(result.aggregate),),
         formats=_SUMMARY_FORMATS,
     ))
+    if result.fault_records:
+        tables.append(fault_table(result.fault_records))
     return tables

@@ -62,6 +62,17 @@ class RequestFlow:
         self._join_arrived: dict[int, dict[str, int]] = defaultdict(dict)
         self._join_expected: dict[int, dict[str, int]] = {}
         self._exit_expected: dict[int, int] = {}
+        # Fault/resilience state, armed lazily so fault-free flows keep a
+        # single is-None check on the hot path:
+        # ``_severed``  (src, dst) -> handoffs parked while the link is
+        #               partitioned (set by the FailureInjector, replayed
+        #               on heal);
+        # ``_fallback_origin`` rid -> (fallback module, origin module):
+        #               the request executes the origin's hop on the
+        #               fallback's workers, and completion is translated
+        #               back to the origin for routing.
+        self._severed: dict[tuple[str, str], list[Request]] | None = None
+        self._fallback_origin: dict[int, tuple[str, str]] | None = None
         # Observed branch choices at forks: (module, successor) -> count.
         # Feeds the request-path prediction extension (§5.2 future work).
         self.branch_counts: dict[tuple[str, str], int] = defaultdict(int)
@@ -124,6 +135,13 @@ class RequestFlow:
             # as invalid.  Do not forward further.
             return
         hop = self.hop_id(module)
+        if self._fallback_origin is not None:
+            origin = self._fallback_origin.get(request.rid)
+            if origin is not None and origin[0] == hop:
+                # The hop executed on its fallback's workers; route the
+                # completion as if the origin module had finished.
+                del self._fallback_origin[request.rid]
+                hop = origin[1]
         subs = self._successors[hop]
         if not subs:
             self._finish_exit(request)
@@ -140,8 +158,17 @@ class RequestFlow:
                         f"fork {hop!r}"
                     )
                 self._record_branch_choice(request, hop, subs, chosen)
+        severed = self._severed
+        if severed is None:
+            for sub in chosen:
+                self._deliver(request, sub)
+            return
         for sub in chosen:
-            self._deliver(request, sub)
+            parked = severed.get((hop, sub))
+            if parked is not None:
+                parked.append(request)  # partitioned: replayed on heal
+            else:
+                self._deliver(request, sub)
 
     def _record_branch_choice(
         self,
@@ -257,6 +284,8 @@ class RequestFlow:
         self._join_arrived.pop(request.rid, None)
         self._join_expected.pop(request.rid, None)
         self._exit_expected.pop(request.rid, None)
+        if self._fallback_origin is not None:
+            self._fallback_origin.pop(request.rid, None)
 
     def branch_probability(self, module_id: str, successor: str) -> float:
         """Observed probability that a request at a fork takes ``successor``.
@@ -298,6 +327,7 @@ class Cluster(RequestFlow):
         stats_window: float = 5.0,
         router: PathRouter | None = None,
         hop_delay: float = 0.0,
+        resilience: dict | None = None,
     ) -> None:
         if hop_delay < 0:
             raise ValueError("hop_delay must be >= 0")
@@ -337,6 +367,21 @@ class Cluster(RequestFlow):
                 n_workers=n,
                 stats_window=stats_window,
             )
+
+        # Per-hop resilience (module id -> HopResilience): resolved once
+        # into a manager; unconfigured clusters keep every fast path.
+        self.resilience = None
+        if resilience:
+            from .resilience import HopResilience, ResilienceManager
+
+            hops = {
+                mid: hop if isinstance(hop, HopResilience)
+                else HopResilience.from_dict(hop)
+                for mid, hop in resilience.items()
+            }
+            self.resilience = ResilienceManager(self, hops)
+            for mid, hop in hops.items():
+                self.modules[mid]._resilience = hop
 
         self._init_flow_state()
         self._tick_started = False

@@ -1,10 +1,25 @@
-"""Worker failure injection.
+"""Fault injection: worker kills, degraded workers, link partitions.
 
 The paper motivates dropping with "unpredictable events such as workload
-bursts or machine failure" (§1, §2): a failed machine removes capacity
-instantly while replacement capacity pays a cold start.  The injector
-schedules worker failures and recoveries on a cluster and re-dispatches
-any requests stranded in a failed worker's queue.
+bursts or machine failure" (§1, §2).  The injector applies a schedule of
+typed :class:`FailureEvent`\\ s to a cluster:
+
+* ``kind="kill"`` (the legacy shape): a module instantly loses
+  ``workers`` machines for ``downtime``; requests stranded in a dead
+  worker's queue/batch are re-dispatched (or parked during a total
+  outage and replayed on recovery).
+* ``kind="degrade"``: ``workers`` machines of a module run with their
+  service time inflated by ``factor`` for ``downtime`` — stragglers,
+  not outages.
+* ``kind="link"``: the edge ``module_id -> dst`` stops carrying token
+  handoffs for ``downtime``.  Handoffs initiated while the link is down
+  are parked and replayed on heal, so join accounting sees the token
+  late rather than never — a partitioned branch delays its join, it
+  does not deadlock it.
+
+Every action is recorded as a structured :class:`FaultRecord`; the
+legacy string log is rendered from the records, byte-identical to the
+old format for worker kills.
 """
 
 from __future__ import annotations
@@ -14,15 +29,27 @@ from dataclasses import dataclass, field
 from .cluster import Cluster
 from .request import RequestStatus
 
+FAULT_KINDS = ("kill", "degrade", "link")
+
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """One injected failure: a module loses ``workers`` for ``downtime``."""
+    """One injected fault (see the module docstring for the kinds).
+
+    Serialization is kind-aware: a legacy worker kill emits exactly the
+    historical ``{time, module_id, workers, downtime}`` dict, so every
+    pre-existing scenario keeps its serialized form — and therefore its
+    cache fingerprint.  New kinds add ``kind`` (plus ``dst``/``factor``)
+    on top.
+    """
 
     time: float
     module_id: str
     workers: int = 1
     downtime: float = 10.0
+    kind: str = "kill"
+    dst: str | None = None  # link faults: the edge module_id -> dst
+    factor: float = 2.0  # degrade faults: service-time multiplier
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -31,19 +58,39 @@ class FailureEvent:
             raise ValueError("must fail at least one worker")
         if self.downtime <= 0:
             raise ValueError("downtime must be > 0")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.kind == "link":
+            if self.dst is None:
+                raise ValueError("a link fault needs a dst module")
+        elif self.dst is not None:
+            raise ValueError(f"dst only applies to link faults, not {self.kind!r}")
+        if self.kind == "degrade" and self.factor <= 1.0:
+            raise ValueError("degrade factor must be > 1.0")
 
     def to_dict(self) -> dict:
-        """Plain-data form for scenario files."""
-        return {
+        """Plain-data form for scenario files (legacy-stable for kills)."""
+        out = {
             "time": self.time,
             "module_id": self.module_id,
             "workers": self.workers,
             "downtime": self.downtime,
         }
+        if self.kind != "kill":
+            out["kind"] = self.kind
+        if self.dst is not None:
+            out["dst"] = self.dst
+        if self.kind == "degrade":
+            out["factor"] = self.factor
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "FailureEvent":
-        unknown = set(data) - {"time", "module_id", "workers", "downtime"}
+        unknown = set(data) - {
+            "time", "module_id", "workers", "downtime", "kind", "dst", "factor",
+        }
         if unknown:
             raise ValueError(f"unknown failure-event keys: {sorted(unknown)}")
         missing = {"time", "module_id"} - set(data)
@@ -56,7 +103,55 @@ class FailureEvent:
             module_id=str(data["module_id"]),
             workers=int(data.get("workers", 1)),
             downtime=float(data.get("downtime", 10.0)),
+            kind=str(data.get("kind", "kill")),
+            dst=None if data.get("dst") is None else str(data["dst"]),
+            factor=float(data.get("factor", 2.0)),
         )
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One structured entry of the injector's fault timeline."""
+
+    time: float
+    kind: str  # "fail" | "recover" | "degrade" | "restore" | "cut" | "heal"
+    target: str  # module id, or "src->dst" for link faults
+    count: int  # workers affected / handoffs replayed
+    factor: float | None = None  # degrade only
+
+    def render(self) -> str:
+        """The human-readable log line (legacy format for kills)."""
+        if self.kind == "fail":
+            return f"t={self.time:.2f}s fail {self.target} -{self.count} worker(s)"
+        if self.kind == "recover":
+            return (
+                f"t={self.time:.2f}s recover {self.target} "
+                f"+{self.count} worker(s)"
+            )
+        if self.kind == "degrade":
+            return (
+                f"t={self.time:.2f}s degrade {self.target} "
+                f"x{self.factor:g} {self.count} worker(s)"
+            )
+        if self.kind == "restore":
+            return (
+                f"t={self.time:.2f}s restore {self.target} "
+                f"{self.count} worker(s)"
+            )
+        if self.kind == "cut":
+            return f"t={self.time:.2f}s cut {self.target}"
+        return f"t={self.time:.2f}s heal {self.target} +{self.count} handoff(s)"
+
+    def to_dict(self) -> dict:
+        out = {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "count": self.count,
+        }
+        if self.factor is not None:
+            out["factor"] = self.factor
+        return out
 
 
 @dataclass
@@ -65,31 +160,51 @@ class FailureInjector:
 
     cluster: Cluster
     events: list[FailureEvent] = field(default_factory=list)
-    log: list[str] = field(default_factory=list)
+    records: list[FaultRecord] = field(default_factory=list)
+
+    @property
+    def log(self) -> list[str]:
+        """The fault timeline rendered to the legacy string format."""
+        return [r.render() for r in self.records]
 
     def schedule_all(self) -> None:
-        """Arm every failure event on the cluster's simulator."""
+        """Arm every fault event on the cluster's simulator."""
         for event in self.events:
-            self.cluster.sim.schedule(event.time, self._fail, event)
+            self.cluster.sim.schedule(event.time, self._fire, event)
+
+    def _fire(self, event: FailureEvent) -> None:
+        if event.kind == "kill":
+            self._fail(event)
+        elif event.kind == "degrade":
+            self._degrade(event)
+        else:
+            self._cut(event)
+
+    def _record(
+        self, kind: str, target: str, count: int, factor: float | None = None
+    ) -> None:
+        self.records.append(
+            FaultRecord(
+                time=self.cluster.sim.now, kind=kind, target=target,
+                count=count, factor=factor,
+            )
+        )
+
+    # -- worker kills --------------------------------------------------------
 
     def _fail(self, event: FailureEvent) -> None:
         module = self.cluster.modules[event.module_id]
         killed = 0
         for _ in range(event.workers):
-            if module.n_workers <= 1 and killed == 0 and event.workers >= 1:
-                # Allow taking the last worker down: the module is dead
-                # until recovery, which is exactly what a machine failure
-                # does.  Requests queue at the module dispatcher level.
-                pass
             if module.n_workers == 0:
                 break
+            # Taking the last worker down is allowed: the module is dead
+            # until recovery, which is exactly what a machine failure
+            # does.  Requests arriving meanwhile park at the module.
             worker = module.workers.pop()
             killed += 1
             self._strand(worker)
-        self.log.append(
-            f"t={self.cluster.sim.now:.2f}s fail {event.module_id} "
-            f"-{killed} worker(s)"
-        )
+        self._record("fail", event.module_id, killed)
         self.cluster.sim.schedule_after(
             event.downtime, self._recover, event.module_id, killed
         )
@@ -98,6 +213,16 @@ class FailureInjector:
         """Re-dispatch a failed worker's queued and forming requests."""
         module = worker.module
         stranded = worker.queue.drain(self.cluster.sim.now)
+        if module._resilience is not None:
+            # Resilient hops dispatch duplicates (retries/hedges) whose
+            # losers linger in queues already claimed elsewhere
+            # (t_batched set).  Re-dispatching one would re-execute a hop
+            # that already completed, so only unclaimed entries strand.
+            mid = module.spec.id
+            stranded = [
+                r for r in stranded
+                if (v := r.visits.get(mid)) is None or v.t_batched is None
+            ]
         stranded.extend(worker.forming)
         worker.forming = []
         # In-flight batch work is lost with the machine; those requests
@@ -124,7 +249,69 @@ class FailureInjector:
         module = self.cluster.modules[module_id]
         for _ in range(workers):
             module.add_worker()
-        self.log.append(
-            f"t={self.cluster.sim.now:.2f}s recover {module_id} "
-            f"+{workers} worker(s)"
+        self._record("recover", module_id, workers)
+
+    # -- degraded workers (stragglers) ---------------------------------------
+
+    def _degrade(self, event: FailureEvent) -> None:
+        module = self.cluster.modules[event.module_id]
+        victims = module.workers[: event.workers]
+        for worker in victims:
+            worker.degrade_factor = event.factor
+        self._record(
+            "degrade", event.module_id, len(victims), factor=event.factor
         )
+        self.cluster.sim.schedule_after(
+            event.downtime, self._restore, event.module_id, victims,
+            event.factor,
+        )
+
+    def _restore(self, module_id: str, victims: list, factor: float) -> None:
+        restored = 0
+        for worker in victims:
+            # A victim may have been killed meanwhile, or re-degraded by
+            # an overlapping event (then the later restore owns it).
+            if worker.degrade_factor == factor:
+                worker.degrade_factor = 1.0
+                restored += 1
+        self._record("restore", module_id, restored)
+
+    # -- link partitions -----------------------------------------------------
+
+    def _cut(self, event: FailureEvent) -> None:
+        flow = self.cluster
+        key = (event.module_id, event.dst)
+        if flow._severed is None:
+            flow._severed = {}
+        flow._severed.setdefault(key, [])
+        self._cut_depth[key] = self._cut_depth.get(key, 0) + 1
+        self._record("cut", f"{event.module_id}->{event.dst}", 0)
+        self.cluster.sim.schedule_after(event.downtime, self._heal, key)
+
+    def _heal(self, key: tuple[str, str]) -> None:
+        flow = self.cluster
+        depth = self._cut_depth.get(key, 0) - 1
+        if depth > 0:
+            # An overlapping cut of the same edge is still active; the
+            # last heal replays everything.
+            self._cut_depth[key] = depth
+            self._record("heal", f"{key[0]}->{key[1]}", 0)
+            return
+        self._cut_depth.pop(key, None)
+        parked = flow._severed.pop(key, []) if flow._severed else []
+        if not flow._severed:
+            flow._severed = None  # restore the zero-overhead fast path
+        replayed = 0
+        for request in parked:
+            if request.status is not RequestStatus.IN_FLIGHT:
+                # The request terminated while partitioned (e.g. a
+                # sibling branch dropped it); its token state is already
+                # reclaimed, so the parked token simply evaporates.
+                continue
+            replayed += 1
+            flow._deliver(request, key[1])
+        self._record("heal", f"{key[0]}->{key[1]}", replayed)
+
+    def __post_init__(self) -> None:
+        # Nesting depth per severed edge, for overlapping link faults.
+        self._cut_depth: dict[tuple[str, str], int] = {}

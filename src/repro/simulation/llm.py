@@ -148,6 +148,7 @@ class LLMWorker(Worker):
         ctx = self._ctx
         ctx.now = now
         forming = self.forming
+        resilient = module._resilience is not None
         while len(running) < target:
             if forming:
                 request = forming[0]
@@ -166,6 +167,15 @@ class LLMWorker(Worker):
             visit = request.visits[module_id]
             worst = visit.prompt_tokens + visit.output_tokens
             generated = self._generated.get(request.rid)
+            if resilient and generated is None and visit.t_batched is not None:
+                # A duplicate dispatch (retry/hedge) lost the race: this
+                # hop was already claimed at another worker.  Preempted
+                # resumes are exempt — they carry per-worker generated
+                # state, which duplicates never have.
+                if from_forming:
+                    forming.pop(0)
+                self.telemetry.skipped_cancelled += 1
+                continue
             if worst > capacity:
                 # Could never fit even on an empty cache: reject outright
                 # rather than wedging the worker behind it forever.
@@ -253,6 +263,8 @@ class LLMWorker(Worker):
             if profile.preempt:
                 self._grow_reservations()
             duration = profile.decode_duration(len(running))
+        if self.degrade_factor != 1.0:
+            duration *= self.degrade_factor  # straggler fault active
         batch = Batch(requests=list(running), start=now, end=now + duration)
         self.executing = batch
         self.telemetry.batches += 1

@@ -61,6 +61,11 @@ class Module:
         # quotas; None (the default everywhere else) keeps receive() on
         # its quota-free path.
         self._quota_of: dict[str, int] | None = None
+        # Per-hop resilience config (HopResilience), installed by the
+        # cluster when the scenario declares one for this module; None —
+        # the default — keeps receive() and the worker draw loop on their
+        # resilience-free fast paths.
+        self._resilience = None
         # Admission hook, resolved once: most policies inherit the base
         # no-op on_admit, in which case receive() skips the call outright.
         policy = cluster.policy
@@ -208,6 +213,10 @@ class Module:
                 self.stats.record_drop()
                 self.cluster.drop(request, self.spec.id, reason)
                 return
+        if self._resilience is not None:
+            # Arm the hop's watchdog/hedge timers before dispatch; they
+            # fire as plain heap events and no-op lazily if stale.
+            self.cluster.resilience.arm(request, self)
         workers = self.workers
         if self._quota_of is not None:
             # A quota confines the app to a prefix of the pool: its

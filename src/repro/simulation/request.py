@@ -35,6 +35,7 @@ class DropReason(enum.Enum):
     BUDGET_EXCEEDED = "budget_exceeded"  # per-module split budget exceeded
     ADMISSION_CONTROL = "admission_control"  # overload-control throttling
     SIBLING_DROPPED = "sibling_dropped"  # DAG: another branch was dropped
+    TIMEOUT = "timeout"  # per-hop resilience budget exhausted
 
 
 @dataclass(slots=True)

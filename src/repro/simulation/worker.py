@@ -51,7 +51,7 @@ class Worker:
 
     __slots__ = (
         "module", "worker_id", "sim", "queue", "forming", "executing",
-        "_draining", "telemetry", "_ctx",
+        "_draining", "telemetry", "_ctx", "degrade_factor",
     )
 
     def __init__(self, module: "Module", worker_id: int) -> None:
@@ -62,6 +62,10 @@ class Worker:
         self.forming: list[Request] = []
         self.executing: Batch | None = None
         self._draining = False
+        # Straggler injection (FailureEvent kind="degrade"): batches run
+        # this many times slower while the fault is active.  1.0 — the
+        # permanent value on healthy clusters — is branch-free cheap.
+        self.degrade_factor = 1.0
         self.telemetry = WorkerTelemetry()
         # Reusable drop context: rewritten per drawn request in _draw so
         # the hot loop does not allocate one per decision (policies read
@@ -142,6 +146,11 @@ class Worker:
         in_flight = RequestStatus.IN_FLIGHT
         ctx = self._ctx
         ctx.now = now
+        # Resilient hops dispatch duplicate entries (retries/hedges); the
+        # first worker to draw one claims the hop via t_batched and every
+        # other copy is a tombstone to skip.  Hoisted: modules without a
+        # resilience config never pay the per-request visit lookup.
+        resilient = module._resilience is not None
         while len(forming) < target:
             request = queue_pop(now)
             if request is None:
@@ -150,6 +159,11 @@ class Worker:
                 # A sibling DAG branch already dropped this request; skip it
                 # without spending GPU time (its earlier work is already
                 # accounted as invalid).
+                self.telemetry.skipped_cancelled += 1
+                continue
+            if resilient and request.visits[module_id].t_batched is not None:
+                # A duplicate dispatch lost the race: another worker (or a
+                # fallback) already claimed this hop.
                 self.telemetry.skipped_cancelled += 1
                 continue
             executing = self.executing
@@ -183,6 +197,8 @@ class Worker:
         self.forming = []
         size = len(requests)
         duration = self.module.profile.duration(size)
+        if self.degrade_factor != 1.0:
+            duration *= self.degrade_factor  # straggler fault active
         share = duration / size
         module_id = self.module.spec.id
         end = now + duration

@@ -9,11 +9,13 @@ from .render import render_timeline
 from .runner import (
     StudyResult,
     run_capacity_study,
+    run_chaos_study,
     run_interference_study,
     run_study,
 )
 from .spec import (
     CapacityStudy,
+    ChaosStudy,
     InterferenceStudy,
     load_study_file,
     study_from_dict,
@@ -21,11 +23,13 @@ from .spec import (
 
 __all__ = [
     "CapacityStudy",
+    "ChaosStudy",
     "InterferenceStudy",
     "StudyResult",
     "load_study_file",
     "render_timeline",
     "run_capacity_study",
+    "run_chaos_study",
     "run_interference_study",
     "run_study",
     "study_from_dict",

@@ -17,12 +17,17 @@ from dataclasses import dataclass
 
 from ..experiments.scenario import MultiScenario
 from ..experiments.sweep import CellResult, SweepCell, run_sweep
+from ..metrics.analysis import (
+    dispatch_amplification,
+    min_normalized_goodput,
+    time_to_recover,
+)
 from ..metrics.export import Artifact, TableData
 from ..policies.spec import PolicySpec
-from .spec import CapacityStudy, InterferenceStudy
+from .spec import CapacityStudy, ChaosStudy, InterferenceStudy
 
-__all__ = ["StudyResult", "run_capacity_study", "run_interference_study",
-           "run_study"]
+__all__ = ["StudyResult", "run_capacity_study", "run_chaos_study",
+           "run_interference_study", "run_study"]
 
 
 @dataclass
@@ -232,8 +237,82 @@ def run_capacity_study(
     )
 
 
+def run_chaos_study(
+    study: ChaosStudy,
+    workers: "int | None" = None,
+    cache_dir: "str | os.PathLike | None" = ".sweep_cache",
+    on_event=None,
+) -> StudyResult:
+    """Run the fault-schedule x resilience grid and tabulate availability.
+
+    One row per cell: the axis values and fault seed, then the run's
+    good fraction, the worst per-window good fraction, the
+    time-to-recover windowed goodput to the study target after the first
+    fault, the resilience action counters and the dispatch amplification
+    factor.  Cells run *full* (not lean): the windowed availability
+    columns need per-request records, which the sweep cache round-trips.
+    """
+    study.validate()
+    points = study.expand()
+    cells = [SweepCell(scenario=spec) for _, spec in points]
+    results = run_sweep(cells, workers=workers, cache_dir=cache_dir,
+                        on_event=on_event)
+    axis_names = study.axis_names()
+    rows = []
+    for (vals, spec), result in zip(points, results):
+        _checked(result)
+        collector = result.collector
+        first_fault = min(e.time for e in spec.failures)
+        recover = time_to_recover(
+            collector, after=first_fault, target=study.target,
+            window=study.window,
+        )
+        rows.append((
+            *(_axis_cell(vals[a]) for a in axis_names),
+            _good_fraction(result),
+            min_normalized_goodput(collector, study.window),
+            None if recover is None else recover,
+            collector.res_retries,
+            collector.res_hedges,
+            collector.res_timeouts,
+            collector.res_fallbacks,
+            dispatch_amplification(collector),
+        ))
+    table = TableData(
+        name="chaos",
+        columns=(*axis_names, "good_fraction", "min_window_good",
+                 "recover_s", "retries", "hedges", "timeouts", "fallbacks",
+                 "amplification"),
+        rows=tuple(rows),
+        formats=(*(None,) * len(axis_names),
+                 ".2%", ".2%", ".2f", None, None, None, None, ".3f"),
+    )
+    artifact = Artifact(
+        name=study.name or "chaos",
+        tables=(table,),
+        meta={
+            "study": study.kind,
+            "name": study.name,
+            "faults": study.faults,
+            "kinds": list(study.kinds),
+            "window": study.window,
+            "target": study.target,
+            "cells": len(cells),
+            "base_fingerprint": study.base.fingerprint(),
+        },
+    )
+    cached = sum(1 for r in results if r.cached)
+    return StudyResult(
+        study=study,
+        artifact=artifact,
+        cells_total=len(cells),
+        cells_simulated=len(cells) - cached,
+        cells_cached=cached,
+    )
+
+
 def run_study(
-    study: "InterferenceStudy | CapacityStudy",
+    study: "InterferenceStudy | CapacityStudy | ChaosStudy",
     workers: "int | None" = None,
     cache_dir: "str | os.PathLike | None" = ".sweep_cache",
     on_event=None,
@@ -245,4 +324,7 @@ def run_study(
     if isinstance(study, CapacityStudy):
         return run_capacity_study(study, workers=workers,
                                   cache_dir=cache_dir, on_event=on_event)
+    if isinstance(study, ChaosStudy):
+        return run_chaos_study(study, workers=workers,
+                               cache_dir=cache_dir, on_event=on_event)
     raise TypeError(f"not a study spec: {type(study).__name__}")

@@ -22,6 +22,13 @@ Two kinds:
   each offered rate.  Every probe is one sweep cell, so the search runs
   over the on-disk :class:`~repro.experiments.sweep.SweepCache` and
   re-planning never re-simulates a cached cell.
+* :class:`ChaosStudy` — seeded random fault schedules (worker kills,
+  link cuts, degraded workers) injected into a single-cluster base
+  scenario, crossed with resilience-policy axes
+  (``resilience.<module>.timeout``, ``resilience.<module>.retry.max``,
+  …).  Each schedule is a pure function of its fault seed, so the whole
+  artifact — availability, time-to-recover, retry/hedge amplification —
+  is reproducible from the spec alone.
 """
 
 from __future__ import annotations
@@ -39,9 +46,12 @@ from ..experiments.scenario import (
     scenario_from_dict,
 )
 from ..policies.spec import PolicySpec
+from ..simulation.failures import FAULT_KINDS, FailureEvent
+from ..simulation.rng import RngStreams
 
 __all__ = [
     "CapacityStudy",
+    "ChaosStudy",
     "InterferenceStudy",
     "load_study_file",
     "study_from_dict",
@@ -297,9 +307,197 @@ class CapacityStudy:
         )
 
 
+@dataclass(frozen=True)
+class ChaosStudy:
+    """Availability under seeded random fault schedules x resilience axes.
+
+    Each cell replaces the base scenario's ``failures`` with a schedule
+    drawn from one fault seed: ``faults`` events with kinds from
+    ``kinds``, injection times uniform in ``start`` (fractions of the
+    trace duration), outage lengths uniform in ``downtime`` seconds and
+    degrade slowdowns uniform in ``factor``.  Link cuts pick a random
+    DAG edge (apps without edges fall back to a kill).  Schedules are
+    drawn from a named :class:`~repro.simulation.rng.RngStreams` stream,
+    so they are a pure, platform-stable function of the seed — the study
+    artifact depends on nothing but this spec.
+
+    ``axes`` crosses the schedules with configuration knobs — typically
+    the dotted resilience axes (``resilience.<module>.timeout``,
+    ``resilience.<module>.retry.max``) over a base that declares
+    :class:`~repro.simulation.resilience.HopResilience` hops.
+    ``window``/``target`` parameterize the availability columns: the
+    per-window good fraction and the time for windowed goodput to climb
+    back to ``target`` after the first fault.
+    """
+
+    kind = "chaos"
+
+    base: Scenario
+    seeds: tuple[int, ...] = (0,)
+    faults: int = 2
+    kinds: tuple[str, ...] = FAULT_KINDS
+    start: tuple[float, float] = (0.2, 0.6)
+    downtime: tuple[float, float] = (1.0, 5.0)
+    factor: tuple[float, float] = (1.5, 3.0)
+    window: float = 1.0
+    target: float = 0.9
+    axes: tuple = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, dict):
+            object.__setattr__(self, "base", Scenario.from_dict(self.base))
+        if not isinstance(self.base, Scenario):
+            raise ValueError(
+                "a chaos study needs a single-cluster scenario base "
+                "(link faults have no shared-cluster form)"
+            )
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ValueError("a chaos study needs at least one fault seed")
+        object.__setattr__(self, "seeds", seeds)
+        if self.faults < 1:
+            raise ValueError("faults must be >= 1")
+        kinds = tuple(str(k) for k in self.kinds)
+        bad = sorted(set(kinds) - set(FAULT_KINDS))
+        if not kinds or bad:
+            raise ValueError(
+                f"kinds must be a non-empty subset of {FAULT_KINDS}, "
+                f"got {list(self.kinds)}"
+            )
+        object.__setattr__(self, "kinds", kinds)
+        for attr in ("start", "downtime", "factor"):
+            pair = tuple(float(v) for v in getattr(self, attr))
+            if len(pair) != 2 or pair[0] > pair[1]:
+                raise ValueError(
+                    f"{attr} must be a (lo, hi) pair with lo <= hi"
+                )
+            object.__setattr__(self, attr, pair)
+        if not (0.0 <= self.start[0] and self.start[1] < 1.0):
+            raise ValueError(
+                "start must lie in [0, 1): fractions of the trace duration"
+            )
+        if self.downtime[0] <= 0:
+            raise ValueError("downtime values must be > 0")
+        if self.factor[0] <= 1.0:
+            raise ValueError("factor values must be > 1 (a slowdown)")
+        if self.window <= 0:
+            raise ValueError("window must be > 0")
+        if not 0 < self.target <= 1:
+            raise ValueError(f"target must be in (0, 1], got {self.target}")
+        object.__setattr__(self, "axes", _freeze_axes(self.axes))
+
+    def schedule(self, seed: int) -> tuple[FailureEvent, ...]:
+        """The fault schedule for one seed — pure and platform-stable."""
+        app = self.base.build_application()
+        modules = list(app.spec.module_ids)
+        edges = [
+            (m.id, sub) for m in app.spec.modules for sub in m.subs
+        ]
+        rng = RngStreams(seed=int(seed)).stream("chaos")
+        duration = self.base.trace.duration
+        events = []
+        for _ in range(self.faults):
+            kind = self.kinds[int(rng.integers(len(self.kinds)))]
+            if kind == "link" and not edges:
+                kind = "kill"  # single-module app: no edge to cut
+            time = round(float(rng.uniform(*self.start)) * duration, 6)
+            downtime = round(float(rng.uniform(*self.downtime)), 6)
+            if kind == "link":
+                src, dst = edges[int(rng.integers(len(edges)))]
+                events.append(FailureEvent(
+                    time=time, module_id=src, kind="link", dst=dst,
+                    downtime=downtime,
+                ))
+            elif kind == "degrade":
+                mid = modules[int(rng.integers(len(modules)))]
+                events.append(FailureEvent(
+                    time=time, module_id=mid, kind="degrade",
+                    downtime=downtime,
+                    factor=round(float(rng.uniform(*self.factor)), 6),
+                ))
+            else:
+                mid = modules[int(rng.integers(len(modules)))]
+                events.append(FailureEvent(
+                    time=time, module_id=mid, downtime=downtime,
+                ))
+        return tuple(events)
+
+    def axis_names(self) -> list[str]:
+        """Grid column names in expansion order (seeds vary fastest)."""
+        return [axis for axis, _ in self.axes] + ["fault_seed"]
+
+    def expand(self) -> list[tuple[dict, Scenario]]:
+        """The grid as ``(axis values, concrete spec)`` pairs, in order."""
+        from dataclasses import replace
+
+        points: list[tuple[dict, Scenario]] = [({}, self.base)]
+        for axis, values in self.axes:
+            points = [
+                ({**vals, axis: v}, _apply_axis(spec, axis, v))
+                for vals, spec in points
+                for v in values
+            ]
+        return [
+            (
+                {**vals, "fault_seed": seed},
+                replace(spec, failures=self.schedule(seed)),
+            )
+            for vals, spec in points
+            for seed in self.seeds
+        ]
+
+    def validate(self) -> "ChaosStudy":
+        """Resolve every reference in every grid member up front."""
+        for _, spec in self.expand():
+            spec.validate()
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "study": self.kind,
+            "name": self.name,
+            "seeds": list(self.seeds),
+            "faults": self.faults,
+            "kinds": list(self.kinds),
+            "start": list(self.start),
+            "downtime": list(self.downtime),
+            "factor": list(self.factor),
+            "window": self.window,
+            "target": self.target,
+            "axes": _thaw_axes(self.axes),
+            "base": self.base.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosStudy":
+        _check_keys(
+            data,
+            {"study", "name", "seeds", "faults", "kinds", "start",
+             "downtime", "factor", "window", "target", "axes", "base"},
+            "chaos study",
+        )
+        if "base" not in data:
+            raise ValueError("chaos study missing required key 'base'")
+        return cls(
+            base=Scenario.from_dict(data["base"]),
+            seeds=tuple(data.get("seeds", (0,))),
+            faults=int(data.get("faults", 2)),
+            kinds=tuple(data.get("kinds", FAULT_KINDS)),
+            start=tuple(data.get("start", (0.2, 0.6))),
+            downtime=tuple(data.get("downtime", (1.0, 5.0))),
+            factor=tuple(data.get("factor", (1.5, 3.0))),
+            window=float(data.get("window", 1.0)),
+            target=float(data.get("target", 0.9)),
+            axes=tuple(dict(data.get("axes", {})).items()),
+            name=str(data.get("name", "")),
+        )
+
+
 _STUDY_KINDS = {
     "interference": InterferenceStudy,
     "capacity": CapacityStudy,
+    "chaos": ChaosStudy,
 }
 
 

@@ -211,6 +211,28 @@ class TestValidation:
         with pytest.raises(ValueError, match="pool-keyed"):
             ms.validate()
 
+    def test_link_faults_rejected_for_shared_clusters(self):
+        # Shared-cluster failures target worker pools; a link is an edge
+        # of one tenant's DAG, which has no pool-keyed form.
+        with pytest.raises(ValueError, match="single-cluster only"):
+            full_multi(
+                failures=(
+                    FailureEvent(time=1.0, module_id="vic_a", kind="link",
+                                 dst="vic_b"),
+                ),
+            )
+
+    def test_tenant_resilience_rejected(self):
+        ms = full_multi(
+            tenants=(
+                TenantSpec(scenario=victim_scenario(
+                    resilience={"m1": {"timeout": 0.2}})),
+                TenantSpec(scenario=aggressor_scenario()),
+            ),
+        )
+        with pytest.raises(ValueError, match="per-hop resilience"):
+            ms.validate()
+
     def test_tenant_utilization_rejected(self):
         ms = full_multi(
             tenants=(

@@ -355,6 +355,70 @@ class TestValidation:
         assert s.validate() is s
 
 
+class TestResilienceSpec:
+    def resilient(self, **overrides) -> Scenario:
+        return full_scenario(
+            resilience={
+                "m1": {"timeout": 0.2,
+                       "retry": {"max": 2, "base": 0.05, "jitter": 0.0}},
+            },
+            **overrides,
+        )
+
+    def test_dict_round_trip(self):
+        s = self.resilient()
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_json_round_trip(self):
+        s = self.resilient()
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_legacy_scenarios_serialize_without_a_resilience_key(self):
+        """Pre-existing scenario files must keep their serialized form
+        (and therefore their cache fingerprints) byte for byte."""
+        assert "resilience" not in full_scenario().to_dict()
+
+    def test_fingerprint_sensitive_to_resilience(self):
+        assert self.resilient().fingerprint() != full_scenario().fingerprint()
+
+    def test_resilience_map_builds_hop_objects(self):
+        from repro.simulation.resilience import HopResilience
+
+        hops = self.resilient().resilience_map()
+        assert set(hops) == {"m1"}
+        assert hops["m1"] == HopResilience(timeout=0.2, retry_max=2,
+                                           backoff_base=0.05)
+        assert full_scenario().resilience_map() is None  # fast path
+
+    def test_unknown_module_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown module"):
+            full_scenario(resilience={"nope": {"timeout": 0.2}})
+
+    def test_unknown_fallback_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown module"):
+            full_scenario(
+                resilience={"m1": {"timeout": 0.2, "fallback": "zz"}},
+            )
+
+    def test_downstream_fallback_rejected_by_validate(self):
+        s = full_scenario(
+            resilience={"m1": {"timeout": 0.2, "fallback": "m2"}},
+        )
+        with pytest.raises(
+            ValueError, match="cannot fall back to its downstream"
+        ):
+            s.validate()
+
+    def test_duplicate_modules_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            full_scenario(
+                resilience=(
+                    ("m1", {"timeout": 0.2}),
+                    ("m1", {"timeout": 0.3}),
+                ),
+            )
+
+
 class TestResolution:
     def test_inline_pipeline_builds(self):
         app = full_scenario().build_application()

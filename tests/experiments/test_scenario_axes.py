@@ -75,6 +75,29 @@ class TestScenarioAxes:
         grid = scenario_axes(base_scenario(), {"drain": [2.0, 4.0]})
         assert [s.drain for s in grid] == [2.0, 4.0]
 
+    def test_resilience_axis_varies_one_knob(self):
+        base = base_scenario(
+            resilience={"m1": {"timeout": 0.2, "retry": {"max": 1}}},
+        )
+        grid = scenario_axes(base, {"resilience.m1.timeout": [0.1, 0.4]})
+        hops = [dict(s.resilience) for s in grid]
+        assert [h["m1"].timeout for h in hops] == [0.1, 0.4]
+        # Untouched knobs survive the variation.
+        assert all(h["m1"].retry_max == 1 for h in hops)
+        assert len({s.fingerprint() for s in grid}) == 2
+
+    def test_nested_resilience_axis_reaches_retry_knobs(self):
+        base = base_scenario(
+            resilience={"m1": {"timeout": 0.2, "retry": {"max": 1}}},
+        )
+        grid = scenario_axes(base, {"resilience.m1.retry.max": [0, 3]})
+        assert [dict(s.resilience)["m1"].retry_max for s in grid] == [0, 3]
+
+    def test_resilience_axis_requires_a_configured_hop(self):
+        with pytest.raises(ValueError, match="resilience"):
+            scenario_axes(base_scenario(),
+                          {"resilience.m1.timeout": [0.1]})
+
     def test_unknown_axis_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario sweep axis"):
             scenario_axes(base_scenario(), {"bogus": [1]})

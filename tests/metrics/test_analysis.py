@@ -7,6 +7,7 @@ import pytest
 
 from repro.metrics.analysis import (
     consumed_budget_per_module,
+    dispatch_amplification,
     drop_rate_at_min_goodput,
     drop_rate_series,
     drops_per_module,
@@ -18,6 +19,7 @@ from repro.metrics.analysis import (
     normalized_goodput_series,
     per_app_summaries,
     summarize,
+    time_to_recover,
 )
 from repro.metrics.collector import MetricsCollector
 from repro.simulation.request import DropReason, Request
@@ -166,6 +168,55 @@ class TestWindowedSeries:
         assert len(starts) == 0
         assert min_normalized_goodput(c, 5.0) == 0.0
         assert max_drop_rate(c, 5.0) == 0.0
+
+
+class TestAvailability:
+    def outage(self):
+        """Good until t=10, an outage window [10, 20), recovered after."""
+        reqs = []
+        for i in range(10):
+            reqs.append(completed(i, 0.5))
+        for i in range(10):
+            reqs.append(dropped(10 + i, 10 + i + 0.1))
+        for i in range(10):
+            reqs.append(completed(20 + i, 0.5))
+        return collect(*reqs)
+
+    def test_time_to_recover_measures_from_the_fault(self):
+        # Windows starting before the fault are excluded: their sends
+        # would dilute the outage with pre-fault traffic.
+        assert time_to_recover(
+            self.outage(), after=10.0, target=0.9, window=10.0
+        ) == pytest.approx(10.0)
+
+    def test_time_to_recover_none_when_target_never_reached(self):
+        assert time_to_recover(
+            self.outage(), after=10.0, target=0.9, window=30.0
+        ) is None
+
+    def test_time_to_recover_zero_when_unaffected(self):
+        c = collect(*[completed(float(i), 0.1) for i in range(20)])
+        assert time_to_recover(c, after=5.0, target=0.9, window=5.0) == 0.0
+
+    def test_dispatch_amplification(self):
+        c = collect(completed(0.0, 0.5), completed(1.0, 0.5))
+        assert dispatch_amplification(c) == pytest.approx(1.0)
+        c.res_retries = 2
+        c.res_hedges = 1
+        assert dispatch_amplification(c) == pytest.approx(2.5)
+
+    def test_dispatch_amplification_empty(self):
+        assert dispatch_amplification(MetricsCollector()) == 1.0
+
+    def test_merge_collectors_folds_resilience_counters(self):
+        a = collect(completed(0.0, 0.5))
+        a.res_retries, a.res_hedges = 2, 1
+        a.res_timeouts, a.res_fallbacks = 3, 1
+        b = collect(completed(1.0, 0.5))
+        b.res_retries = 1
+        merged = merge_collectors([a, b])
+        assert (merged.res_retries, merged.res_hedges,
+                merged.res_timeouts, merged.res_fallbacks) == (3, 1, 3, 1)
 
 
 class TestPerModule:

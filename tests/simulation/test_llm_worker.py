@@ -211,6 +211,47 @@ class TestKvAccounting:
         assert cluster.modules["m1"].n_workers == 2  # recovered
         assert_clean(cluster)
 
+    def test_kill_mid_decode_releases_kv_and_readmits_cleanly(self):
+        # Kill the ONLY worker while sequences are decoding: their KV
+        # reservations die with the machine, the stranded sequences park
+        # at the module, and the recovered worker re-admits them from a
+        # clean slate — fresh reservations, full completions, no leaks.
+        cluster = llm_cluster(llm_profile(), workers=1)
+        injector = FailureInjector(
+            cluster,
+            events=[
+                FailureEvent(time=0.01, module_id="m1", workers=1,
+                             downtime=0.05)
+            ],
+        )
+        injector.schedule_all()
+        probe: dict[str, object] = {}
+
+        def before() -> None:
+            worker = cluster.modules["m1"].workers[0]
+            probe["kv_mid_decode"] = worker.kv_used
+
+        def during() -> None:
+            module = cluster.modules["m1"]
+            probe["workers_down"] = module.n_workers
+            probe["parked"] = len(module._parked)
+
+        cluster.sim.schedule(0.0099, before)
+        cluster.sim.schedule(0.03, during)
+        submit_and_run(cluster, 12, gap=0.001)
+        assert probe["kv_mid_decode"] > 0  # the kill interrupts decoding
+        assert probe["workers_down"] == 0
+        assert probe["parked"] > 0  # stranded sequences wait at the module
+        records = cluster.metrics.records
+        assert len(records) == 12
+        assert all(r.status is RequestStatus.COMPLETED for r in records)
+        # Tokens streamed before the kill stay counted (like GPU time on
+        # plain workers); re-admission regenerates the full sampled
+        # length, so interrupted sequences may exceed it slightly.
+        assert all(r.tokens_out >= 8 for r in records)
+        assert sum(r.tokens_out == 8 for r in records) >= 8
+        assert_clean(cluster)
+
 
 class TestBatchingPlanIntegration:
     def test_llm_profile_plugs_into_affine_planning(self):

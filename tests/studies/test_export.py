@@ -126,3 +126,55 @@ class TestArtifact:
         header = md.splitlines()[1]
         assert header.startswith("| name ") and header.endswith("|")
         assert "|---" in md  # the markdown separator row
+
+
+class TestFaultTable:
+    def test_records_become_rows(self):
+        from repro.metrics.export import fault_table
+        from repro.simulation.failures import FaultRecord
+
+        table = fault_table([
+            FaultRecord(time=1.0, kind="fail", target="m1", count=1),
+            FaultRecord(time=2.0, kind="degrade", target="m1", count=2,
+                        factor=2.5),
+            FaultRecord(time=3.0, kind="cut", target="m1->m2", count=0),
+        ])
+        assert table.name == "faults"
+        assert table.columns == ("time", "kind", "target", "count", "factor")
+        assert table.rows == (
+            (1.0, "fail", "m1", 1, None),
+            (2.0, "degrade", "m1", 2, 2.5),
+            (3.0, "cut", "m1->m2", 0, None),
+        )
+
+    def test_scenario_result_exports_the_fault_timeline(self):
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenario import AppSpec, Scenario, TraceSpec
+        from repro.metrics.export import scenario_result_tables
+        from repro.pipeline.profiles import ModelProfile
+        from repro.simulation.failures import FailureEvent
+
+        def scenario(failures=()):
+            return Scenario(
+                name="faulty",
+                app=AppSpec.chained(
+                    ["ex_a"], slo=0.3, pipeline="export-pipe",
+                    profiles=[ModelProfile("ex_a", base=0.01,
+                                           per_item=0.003, max_batch=8)],
+                ),
+                trace=TraceSpec(name="poisson", duration=3.0, base_rate=40.0),
+                policy="Naive",
+                workers=2,
+                failures=failures,
+            )
+
+        faulty = run_scenario(scenario(
+            (FailureEvent(time=1.0, module_id="m1", workers=1,
+                          downtime=0.5),),
+        ))
+        tables = {t.name: t for t in scenario_result_tables(faulty)}
+        assert [r[1] for r in tables["faults"].rows] == ["fail", "recover"]
+        clean = run_scenario(scenario())
+        assert "faults" not in {
+            t.name for t in scenario_result_tables(clean)
+        }

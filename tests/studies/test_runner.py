@@ -9,11 +9,12 @@ import pytest
 from repro.studies import (
     load_study_file,
     run_capacity_study,
+    run_chaos_study,
     run_interference_study,
     run_study,
 )
 
-from .test_spec import capacity_study, interference_study
+from .test_spec import capacity_study, chaos_study, interference_study
 
 REPO = Path(__file__).resolve().parents[2]
 EXAMPLES = REPO / "examples" / "studies"
@@ -121,12 +122,59 @@ class TestCapacityRunner:
         assert one.artifact.json_text() == two.artifact.json_text()
 
 
+class TestChaosRunner:
+    def test_rows_cover_the_grid_in_order(self):
+        study = chaos_study()
+        result = run_chaos_study(study, cache_dir=None)
+        table = result.artifact.tables[0]
+        assert table.name == "chaos"
+        assert table.columns[:2] == ("resilience.m1.timeout", "fault_seed")
+        assert table.columns[2:] == (
+            "good_fraction", "min_window_good", "recover_s", "retries",
+            "hedges", "timeouts", "fallbacks", "amplification",
+        )
+        assert [row[:2] for row in table.rows] == [
+            (0.15, 0), (0.15, 1), (0.4, 0), (0.4, 1),
+        ]
+        assert result.cells_total == 4
+        assert result.cells_simulated == 4
+
+    def test_serial_and_pooled_artifacts_are_byte_identical(self):
+        study = chaos_study()
+        serial = run_chaos_study(study, workers=1, cache_dir=None)
+        pooled = run_chaos_study(study, workers=2, cache_dir=None)
+        assert pooled.artifact.json_text() == serial.artifact.json_text()
+        assert pooled.artifact.csv_text() == serial.artifact.csv_text()
+
+    def test_cache_round_trips_the_windowed_columns(self, tmp_path):
+        # Chaos cells run full (not lean): the availability columns need
+        # per-request records, which the cell cache must reproduce.
+        study = chaos_study()
+        first = run_chaos_study(study, cache_dir=tmp_path)
+        second = run_chaos_study(study, cache_dir=tmp_path)
+        assert first.cells_simulated == 4
+        assert second.cells_simulated == 0
+        assert second.cells_cached == 4
+        assert second.artifact.json_text() == first.artifact.json_text()
+
+    def test_meta_pins_the_study_parameters(self):
+        study = chaos_study()
+        result = run_chaos_study(study, cache_dir=None)
+        meta = result.artifact.meta
+        assert meta["study"] == "chaos"
+        assert meta["base_fingerprint"] == study.base.fingerprint()
+        assert meta["cells"] == 4
+        assert meta["kinds"] == list(study.kinds)
+
+
 class TestRunStudyDispatch:
     def test_dispatches_by_kind(self, tmp_path):
         result = run_study(capacity_study(), cache_dir=tmp_path)
         assert result.artifact.meta["study"] == "capacity"
         result = run_study(interference_study(), cache_dir=tmp_path)
         assert result.artifact.meta["study"] == "interference"
+        result = run_study(chaos_study(), cache_dir=tmp_path)
+        assert result.artifact.meta["study"] == "chaos"
 
     def test_rejects_non_studies(self):
         with pytest.raises(TypeError, match="not a study"):
@@ -136,7 +184,7 @@ class TestRunStudyDispatch:
 class TestCommittedGoldens:
     """The committed example studies reproduce their goldens bitwise."""
 
-    @pytest.mark.parametrize("stem", ["interference", "capacity"])
+    @pytest.mark.parametrize("stem", ["interference", "capacity", "chaos"])
     def test_example_reproduces_golden_bytes(self, stem):
         study = load_study_file(EXAMPLES / f"{stem}.json")
         result = run_study(study, cache_dir=None)

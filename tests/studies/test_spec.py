@@ -18,6 +18,7 @@ from repro.experiments.scenario import (
 from repro.pipeline.profiles import ModelProfile
 from repro.studies import (
     CapacityStudy,
+    ChaosStudy,
     InterferenceStudy,
     load_study_file,
     study_from_dict,
@@ -104,6 +105,42 @@ def capacity_study(**overrides) -> CapacityStudy:
     )
     defaults.update(overrides)
     return CapacityStudy(**defaults)
+
+
+def chaos_base(**overrides) -> Scenario:
+    defaults = dict(
+        name="chaos-base",
+        app=AppSpec.chained(
+            ["cha_a", "cha_b"],
+            slo=0.35,
+            pipeline="chaos-pipe",
+            profiles=[
+                ModelProfile("cha_a", base=0.015, per_item=0.005,
+                             max_batch=8),
+                ModelProfile("cha_b", base=0.010, per_item=0.004,
+                             max_batch=8),
+            ],
+        ),
+        trace=TraceSpec(name="poisson", duration=4.0, base_rate=60.0),
+        policy="Naive",
+        seed=1,
+        resilience={"m1": {"timeout": 0.2, "retry": {"max": 1,
+                                                     "base": 0.02}}},
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+def chaos_study(**overrides) -> ChaosStudy:
+    defaults = dict(
+        base=chaos_base(),
+        seeds=(0, 1),
+        faults=2,
+        axes=(("resilience.m1.timeout", (0.15, 0.4)),),
+        name="chaos-demo",
+    )
+    defaults.update(overrides)
+    return ChaosStudy(**defaults)
 
 
 class TestInterferenceSpec:
@@ -211,6 +248,89 @@ class TestCapacitySpec:
         spec = capacity_study(base=pair_multi()).spec_at(25.0, 2)
         assert spec.workers == 2
         assert all(t.scenario.trace.base_rate == 25.0 for t in spec.tenants)
+
+
+class TestChaosSpec:
+    def test_dict_round_trip(self):
+        study = chaos_study()
+        assert study_from_dict(study.to_dict()) == study
+
+    def test_json_round_trip(self):
+        study = chaos_study()
+        clone = study_from_dict(json.loads(json.dumps(study.to_dict())))
+        assert clone == study
+
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        study = chaos_study()
+        assert study.schedule(0) == study.schedule(0)
+        assert study.schedule(0) != study.schedule(1)
+
+    def test_schedule_draws_within_the_declared_bounds(self):
+        study = chaos_study(seeds=tuple(range(8)), faults=3)
+        duration = study.base.trace.duration
+        edges = {("m1", "m2")}
+        for seed in study.seeds:
+            for event in study.schedule(seed):
+                assert event.kind in study.kinds
+                lo, hi = study.start
+                assert lo * duration <= event.time <= hi * duration
+                assert study.downtime[0] <= event.downtime <= study.downtime[1]
+                if event.kind == "link":
+                    assert (event.module_id, event.dst) in edges
+                if event.kind == "degrade":
+                    assert study.factor[0] <= event.factor <= study.factor[1]
+
+    def test_link_falls_back_to_kill_without_edges(self):
+        single = chaos_base(
+            app=AppSpec.chained(
+                ["cha_a"], slo=0.35, pipeline="chaos-solo",
+                profiles=[ModelProfile("cha_a", base=0.015,
+                                       per_item=0.005, max_batch=8)],
+            ),
+            resilience={},
+        )
+        study = chaos_study(base=single, kinds=("link",))
+        for seed in range(4):
+            assert all(e.kind == "kill" for e in study.schedule(seed))
+
+    def test_expand_crosses_axes_with_seeds_varying_fastest(self):
+        study = chaos_study()
+        points = study.expand()
+        assert len(points) == 4
+        assert [
+            (vals["resilience.m1.timeout"], vals["fault_seed"])
+            for vals, _ in points
+        ] == [(0.15, 0), (0.15, 1), (0.4, 0), (0.4, 1)]
+        for vals, spec in points:
+            assert spec.failures == study.schedule(vals["fault_seed"])
+            hops = dict(spec.resilience)
+            assert hops["m1"].timeout == vals["resilience.m1.timeout"]
+
+    def test_axis_names_put_the_fault_seed_last(self):
+        assert chaos_study().axis_names() == [
+            "resilience.m1.timeout", "fault_seed",
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="single-cluster"):
+            chaos_study(base=pair_multi())
+        with pytest.raises(ValueError, match="at least one fault seed"):
+            chaos_study(seeds=())
+        with pytest.raises(ValueError, match="faults must be >= 1"):
+            chaos_study(faults=0)
+        with pytest.raises(ValueError, match="kinds"):
+            chaos_study(kinds=("meteor",))
+        with pytest.raises(ValueError, match="start must lie"):
+            chaos_study(start=(0.5, 1.5))
+        with pytest.raises(ValueError, match="downtime"):
+            chaos_study(downtime=(0.0, 1.0))
+        with pytest.raises(ValueError, match="factor"):
+            chaos_study(factor=(1.0, 2.0))
+        with pytest.raises(ValueError, match="target"):
+            chaos_study(target=0.0)
+
+    def test_validate_resolves_every_grid_member(self):
+        chaos_study().validate()
 
 
 class TestDispatch:
